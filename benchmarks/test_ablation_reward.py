@@ -1,0 +1,74 @@
+"""Ablation: learned PCS discriminator vs exact synthesis reward.
+
+The paper replaces the synthesis tool with a trained discriminator inside
+the MCTS loop.  This bench quantifies that substitution on our substrate:
+(1) rank correlation between discriminator predictions and true PCS on
+held-out perturbed states, and (2) end-to-end SCPR after MCTS under each
+reward at the same simulation budget.
+"""
+
+import numpy as np
+
+from repro.mcts import (
+    MCTSConfig,
+    SynthesisReward,
+    collect_training_set,
+    optimize_registers,
+    train_discriminator,
+)
+from repro.synth import synthesize
+
+from conftest import CLOCK_PERIOD, write_result
+
+
+def test_ablation_reward_model(syncircuit, syncircuit_records, benchmark):
+    gvals = [rec.g_val for rec in syncircuit_records[:8]]
+    disc = train_discriminator(
+        gvals[:4], clock_period=CLOCK_PERIOD, perturbations=10, seed=0
+    )
+
+    # (1) Fidelity on held-out designs and their perturbations.
+    feats, targets = collect_training_set(
+        gvals[4:8], clock_period=CLOCK_PERIOD, perturbations=6, seed=1
+    )
+    preds = disc.predict(feats)
+    if np.std(preds) > 1e-9 and np.std(targets) > 1e-9:
+        corr = float(np.corrcoef(preds, targets)[0, 1])
+    else:
+        corr = float("nan")
+
+    # (2) End-to-end SCPR under each reward, same budget.
+    cfg = MCTSConfig(
+        num_simulations=40, max_depth=6, branching=5,
+        clock_period=CLOCK_PERIOD, seed=3,
+    )
+    rows = [
+        f"held-out PCS prediction correlation: {corr:.3f}",
+        "",
+        f"{'design':<8s}{'scpr_before':>13s}{'scpr_disc':>12s}{'scpr_synth':>12s}",
+    ]
+    deltas = []
+    for rec in syncircuit_records[:4]:
+        before = synthesize(rec.g_val, clock_period=CLOCK_PERIOD).scpr
+        with_disc = optimize_registers(rec.g_val, reward_fn=disc, config=cfg)
+        scpr_disc = synthesize(with_disc.graph, clock_period=CLOCK_PERIOD).scpr
+        with_synth = optimize_registers(
+            rec.g_val, reward_fn=SynthesisReward(CLOCK_PERIOD), config=cfg
+        )
+        scpr_synth = synthesize(
+            with_synth.graph, clock_period=CLOCK_PERIOD
+        ).scpr
+        deltas.append((scpr_disc - before, scpr_synth - before))
+        rows.append(
+            f"{rec.g_val.name:<8s}{before:>13.3f}"
+            f"{scpr_disc:>12.3f}{scpr_synth:>12.3f}"
+        )
+    write_result("ablation_reward_model", "\n".join(rows))
+
+    # The synthesis-verified acceptance guarantees neither reward hurts.
+    assert all(d_disc >= -1e-9 for d_disc, _ in deltas)
+    assert all(d_synth >= -1e-9 for _, d_synth in deltas)
+
+    benchmark.pedantic(
+        lambda: disc.predict(feats), rounds=3, iterations=1
+    )

@@ -1,0 +1,40 @@
+"""Table I: dataset composition and design size statistics.
+
+Regenerates the paper's corpus table: per-family design counts, original
+HDL types and {min, median, max} post-synthesis gate counts for the
+22-design benchmark suite.
+"""
+
+from repro.bench_designs import corpus_statistics, load_design
+from repro.synth import synthesize
+
+from conftest import CLOCK_PERIOD, write_result
+
+
+def test_table1_dataset_composition(corpus, benchmark):
+    gate_counts = {}
+    for graph in corpus:
+        result = synthesize(graph, clock_period=CLOCK_PERIOD)
+        gate_counts[graph.name] = result.num_cells
+
+    rows = corpus_statistics(gate_counts)
+    header = (
+        f"{'Source Benchmark':<18s}{'# Designs':>10s}{'HDL Type':>10s}"
+        f"{'Min':>8s}{'Median':>8s}{'Max':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['source']:<18s}{row['num_designs']:>10d}"
+            f"{row['hdl_type']:>10s}{row['min_gates']:>8d}"
+            f"{row['median_gates']:>8d}{row['max_gates']:>8d}"
+        )
+    write_result("table1_dataset", "\n".join(lines))
+
+    assert sum(r["num_designs"] for r in rows) == 22
+    assert all(r["min_gates"] > 0 for r in rows)
+
+    # Benchmark: one representative synthesis run (the flow that produced
+    # every cell of the table).
+    design = load_design("uart_tx")
+    benchmark(lambda: synthesize(design, clock_period=CLOCK_PERIOD))

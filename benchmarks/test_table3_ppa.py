@@ -1,0 +1,106 @@
+"""Table III: synthetic-data augmentation for RTL-stage PPA prediction.
+
+(a) Basic training set of 15 real designs; (b) basic set of 5 designs.
+Each is augmented with 25 pseudo-circuits from GraphRNN, DVAE, SynCircuit
+w/o optimization (G_val) and SynCircuit w/ optimization (G_opt); models
+are evaluated on the 7 held-out real designs with R / MAPE / RRSE on
+register slack, WNS, TNS and area.
+"""
+
+import numpy as np
+
+from repro.ppa import evaluate_augmentation, format_table
+
+from conftest import CLOCK_PERIOD, LABEL_PERIODS, write_result
+
+
+def _augmentation_sets(graphrnn_set, dvae_set, syncircuit_records):
+    return {
+        "GraphRNN": graphrnn_set,
+        "DVAE": dvae_set,
+        "SynCircuit w/o opt": [r.g_val for r in syncircuit_records],
+        "SynCircuit w/ opt": [r.g_opt for r in syncircuit_records],
+    }
+
+
+def _mean_metric(rows, metric_index: int) -> dict[str, float]:
+    """label -> mean metric across the four tasks (for shape checks)."""
+    out = {}
+    for row in rows:
+        values = []
+        for s in row.scores.values():
+            value = (s.r, s.mape, s.rrse)[metric_index]
+            if not np.isnan(value):
+                values.append(value)
+        out[row.label] = float(np.mean(values)) if values else float("nan")
+    return out
+
+
+def _task_metric(rows, task: str, metric_index: int) -> dict[str, float]:
+    return {
+        row.label: (row.scores[task].r, row.scores[task].mape,
+                    row.scores[task].rrse)[metric_index]
+        for row in rows
+    }
+
+
+def test_table3a_ppa_15_designs(
+    split, graphrnn_set, dvae_set, syncircuit_records, benchmark
+):
+    train, test = split
+    rows = evaluate_augmentation(
+        train, test,
+        _augmentation_sets(graphrnn_set, dvae_set, syncircuit_records),
+        clock_period=CLOCK_PERIOD,
+        periods=LABEL_PERIODS,
+    )
+    write_result("table3a_ppa_15designs", format_table(rows))
+
+    mape = _mean_metric(rows, 1)
+    # Shape check: SynCircuit w/ opt augmentation should beat the
+    # real-only baseline and both DAG baselines on mean MAPE.
+    assert mape["SynCircuit w/ opt"] <= mape["Basic training data"] * 1.10
+    assert mape["SynCircuit w/ opt"] <= min(
+        mape["GraphRNN"], mape["DVAE"]
+    ) * 1.10
+
+    benchmark.pedantic(
+        lambda: evaluate_augmentation(
+            train[:5], test[:2], {}, periods=LABEL_PERIODS[:2]
+        ),
+        rounds=1, iterations=1,
+    )
+
+
+def test_table3b_ppa_5_designs(
+    split, graphrnn_set, dvae_set, syncircuit_records, benchmark
+):
+    train, test = split
+    rng = np.random.default_rng(5)
+    small_train = [train[i] for i in rng.choice(len(train), 5, replace=False)]
+    rows = evaluate_augmentation(
+        small_train, test,
+        _augmentation_sets(graphrnn_set, dvae_set, syncircuit_records),
+        clock_period=CLOCK_PERIOD,
+        periods=LABEL_PERIODS,
+    )
+    write_result("table3b_ppa_5designs", format_table(rows))
+
+    # Shape checks per the paper's 5-design discussion: the register-slack
+    # gain is the headline ("Register Slack MAPE is reduced by 10% in both
+    # basic training settings") and overall fit (RRSE is the scale-free
+    # aggregate at this noisy regime) must not degrade.
+    reg_mape = _task_metric(rows, "reg_slack", 1)
+    assert (
+        reg_mape["SynCircuit w/ opt"]
+        <= reg_mape["Basic training data"] - 0.05
+    )
+    rrse = _mean_metric(rows, 2)
+    assert rrse["SynCircuit w/ opt"] <= rrse["Basic training data"] * 1.05
+
+    benchmark.pedantic(
+        lambda: evaluate_augmentation(
+            small_train, test[:2], {}, periods=LABEL_PERIODS[:2]
+        ),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,55 @@
+"""Quickstart: train SynCircuit on real designs and emit new Verilog.
+
+Runs the full three-phase pipeline at a small scale:
+  1. load the 22-design benchmark corpus and train the diffusion model,
+  2. generate three brand-new synthetic circuits,
+  3. MCTS-optimize their logic redundancy,
+  4. print the synthesizable Verilog of the best one with its PPA report.
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.bench_designs import train_test_split
+from repro.diffusion import DiffusionConfig
+from repro.hdl import generate_verilog
+from repro.mcts import MCTSConfig
+from repro.pipeline import SynCircuit, SynCircuitConfig
+from repro.synth import synthesize
+
+
+def main() -> None:
+    train, _ = train_test_split(seed=2025)
+    print(f"training on {len(train)} real designs "
+          f"({sum(g.num_nodes for g in train)} nodes total)")
+
+    config = SynCircuitConfig(
+        diffusion=DiffusionConfig(epochs=80, hidden=48, num_layers=4, seed=0),
+        mcts=MCTSConfig(num_simulations=40, max_depth=6, branching=5, seed=0),
+        degree_guidance=0.5,
+    )
+    pipeline = SynCircuit(config).fit(train, verbose=True)
+
+    records = pipeline.generate(3, num_nodes=(40, 60), optimize=True, seed=1)
+    best = None
+    for rec in records:
+        val = synthesize(rec.g_val, clock_period=1.0)
+        opt = synthesize(rec.g_opt, clock_period=1.0)
+        print(
+            f"{rec.g_val.name}: {rec.g_val.num_nodes} nodes | "
+            f"SCPR {val.scpr:.2f} -> {opt.scpr:.2f} | "
+            f"PCS {val.pcs:.2f} -> {opt.pcs:.2f} | "
+            f"area {opt.area:.1f} um^2, WNS {opt.wns:+.3f} ns"
+        )
+        if best is None or opt.scpr > best[1].scpr:
+            best = (rec, opt)
+
+    rec, report = best
+    print(f"\n--- Verilog for {rec.g_opt.name} "
+          f"(SCPR {report.scpr:.2f}, {report.num_cells} cells) ---")
+    print(generate_verilog(rec.g_opt))
+
+
+if __name__ == "__main__":
+    main()

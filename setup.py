@@ -1,0 +1,6 @@
+"""Legacy setup shim: enables `pip install -e .` on environments whose
+setuptools lacks PEP 660 editable-wheel support (no `wheel` package)."""
+
+from setuptools import setup
+
+setup()

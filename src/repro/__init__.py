@@ -1,0 +1,13 @@
+"""SynCircuit reproduction: synthetic RTL circuit generation.
+
+The package implements the three-phase SynCircuit framework from
+"SynCircuit: Automated Generation of New Synthetic RTL Circuits Can Enable
+Big Data in Circuits" (DAC 2025) plus every substrate the paper's
+evaluation depends on: a circuit IR with HDL bijection, a logic-synthesis
+and static-timing substrate, baseline graph generators, structural and
+downstream-ML evaluation metrics, and a 22-design benchmark corpus.
+"""
+
+__version__ = "0.1.0"
+
+from .ir import CircuitGraph, GraphBuilder, NodeType  # noqa: F401

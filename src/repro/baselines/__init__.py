@@ -1,0 +1,29 @@
+"""Baseline graph generative models, adapted to circuits as in the paper."""
+
+from .common import (
+    dagify,
+    guaranteed_attributes,
+    order_attributes,
+    sequential_validity_refine,
+    topological_order,
+    type_position_prior,
+)
+from .dvae import DVAEBaseline, DVAEConfig
+from .graphrnn import GraphRNNBaseline, GraphRNNConfig
+from .oneshot import GraphMakerV, GravityDirectioner, SparseDigressV
+
+__all__ = [
+    "DVAEBaseline",
+    "DVAEConfig",
+    "GraphMakerV",
+    "GraphRNNBaseline",
+    "GraphRNNConfig",
+    "GravityDirectioner",
+    "SparseDigressV",
+    "dagify",
+    "guaranteed_attributes",
+    "order_attributes",
+    "sequential_validity_refine",
+    "topological_order",
+    "type_position_prior",
+]

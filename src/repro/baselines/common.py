@@ -1,0 +1,163 @@
+"""Shared machinery for the baseline generators.
+
+The paper adapts every baseline to circuit generation:
+
+* GraphRNN / D-VAE are node-ordering autoregressive models that only
+  handle DAGs, so training circuits are *DAG-ified* (cycles broken) and
+  nodes sorted topologically; a validity checker then enforces the
+  circuit constraints during sequential generation.
+* One-shot undirected models get a direction-assignment step and the
+  same per-node validity refinement in a fixed node order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import (
+    CircuitGraph,
+    NodeType,
+    arity_of,
+    type_from_index,
+    type_index,
+)
+from ..postprocess import refine_to_valid
+
+
+def dagify(graph: CircuitGraph) -> np.ndarray:
+    """Adjacency with back edges removed (cycles broken), via DFS.
+
+    Returns a boolean adjacency matrix that is acyclic.  Circuit cycles
+    always pass through registers, so the removed edges are register
+    feedback edges -- exactly the information the autoregressive
+    baselines lose, which the paper highlights.
+    """
+    n = graph.num_nodes
+    a = graph.adjacency()
+    color = np.zeros(n, dtype=np.int8)  # 0 white, 1 grey, 2 black
+    order_children = [list(np.flatnonzero(a[v])) for v in range(n)]
+    for root in range(n):
+        if color[root] != 0:
+            continue
+        stack: list[tuple[int, int]] = [(root, 0)]
+        color[root] = 1
+        while stack:
+            v, idx = stack[-1]
+            if idx < len(order_children[v]):
+                stack[-1] = (v, idx + 1)
+                w = order_children[v][idx]
+                if color[w] == 1:
+                    a[v, w] = False        # back edge: drop it
+                elif color[w] == 0:
+                    color[w] = 1
+                    stack.append((w, 0))
+            else:
+                color[v] = 2
+                stack.pop()
+    return a
+
+
+def topological_order(adjacency: np.ndarray) -> np.ndarray:
+    """Kahn order of a DAG adjacency (ties broken by node id)."""
+    n = adjacency.shape[0]
+    indeg = adjacency.sum(axis=0).astype(np.int64)
+    frontier = sorted(np.flatnonzero(indeg == 0).tolist())
+    order = []
+    indeg = indeg.copy()
+    while frontier:
+        v = frontier.pop(0)
+        order.append(v)
+        for w in np.flatnonzero(adjacency[v]):
+            indeg[w] -= 1
+            if indeg[w] == 0:
+                frontier.append(int(w))
+        frontier.sort()
+    if len(order) != n:
+        raise ValueError("adjacency is not acyclic")
+    return np.array(order, dtype=np.int64)
+
+
+def type_position_prior(graphs: list[CircuitGraph]) -> np.ndarray:
+    """Mean normalised topological position of each node type.
+
+    Used to order sampled attribute vectors realistically before
+    autoregressive generation (inputs early, outputs late).
+    """
+    from ..ir import NUM_TYPES
+
+    sums = np.zeros(NUM_TYPES)
+    counts = np.zeros(NUM_TYPES)
+    for g in graphs:
+        a = dagify(g)
+        order = topological_order(a)
+        n = max(len(order) - 1, 1)
+        for pos, node in enumerate(order):
+            t = type_index(g.node(int(node)).type)
+            sums[t] += pos / n
+            counts[t] += 1
+    prior = np.where(counts > 0, sums / np.maximum(counts, 1), 0.5)
+    return prior
+
+
+def order_attributes(
+    types: np.ndarray,
+    widths: np.ndarray,
+    position_prior: np.ndarray,
+    rng: np.random.Generator,
+    jitter: float = 0.08,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sort sampled attributes by the learned positional prior + noise."""
+    keys = position_prior[types] + rng.normal(0.0, jitter, size=len(types))
+    order = np.argsort(keys)
+    return types[order], widths[order]
+
+
+def sequential_validity_refine(
+    types: np.ndarray,
+    widths: np.ndarray,
+    edge_probability: np.ndarray,
+    name: str,
+    rng: np.random.Generator,
+    sampled_adjacency: np.ndarray | None = None,
+) -> CircuitGraph:
+    """The paper's validity checker for sequential baselines.
+
+    Nodes arrive in generation order; every node's parents are drawn only
+    from *earlier* nodes, ranked by the model's probabilities (sampled
+    edges are honoured first), with exact arity.  The result is a DAG, so
+    combinational-loop freedom is automatic -- and register feedback is
+    structurally impossible, which is precisely the deficiency the paper
+    attributes to these baselines.
+    """
+    n = len(types)
+    masked = np.array(edge_probability, dtype=np.float64)
+    upper = np.triu(np.ones((n, n), dtype=bool), k=0)
+    masked[upper] = 0.0  # only earlier nodes (strictly lower index) drive
+    if sampled_adjacency is None:
+        adjacency = np.zeros((n, n), dtype=bool)
+    else:
+        adjacency = np.asarray(sampled_adjacency, dtype=bool) & ~upper
+    return refine_to_valid(
+        types, widths, adjacency, masked, name=name, rng=rng,
+    )
+
+
+def guaranteed_attributes(
+    types: np.ndarray, widths: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Ensure the first node can legally be a source (IN/CONST).
+
+    Sequential generation requires node 0 to have arity 0.
+    """
+    types = types.copy()
+    widths = widths.copy()
+    if arity_of(type_from_index(int(types[0]))) != 0:
+        source = type_index(NodeType.IN)
+        for i, t in enumerate(types):
+            if arity_of(type_from_index(int(t))) == 0:
+                types[0], types[i] = types[i], types[0]
+                widths[0], widths[i] = widths[i], widths[0]
+                break
+        else:
+            types[0] = source
+    return types, widths

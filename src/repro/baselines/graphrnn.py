@@ -1,0 +1,191 @@
+"""GraphRNN baseline (You et al. 2018), adapted to circuit graphs.
+
+GraphRNN-S structure: a graph-level GRU consumes nodes in topological
+order; each step's input is the node's type embedding concatenated with
+the previous node's connection vector, and an output MLP predicts
+Bernoulli connection probabilities to the ``window`` most recent nodes.
+
+Adaptation per the paper: training circuits are DAG-ified (register
+feedback edges removed), node order is topological, edge direction is
+implied by the ordering, and a validity checker enforces the circuit
+constraints during generation.  The generated graphs are DAGs -- they
+contain no register feedback loops, unlike real designs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..diffusion import AttributeSampler
+from ..ir import CircuitGraph, NUM_TYPES, type_index
+from ..nn import GRUCell, MLP, Adam, Embedding, Tensor, bce_with_logits, sigmoid_np
+from .common import (
+    dagify,
+    guaranteed_attributes,
+    order_attributes,
+    sequential_validity_refine,
+    topological_order,
+    type_position_prior,
+)
+
+
+@dataclass
+class GraphRNNConfig:
+    window: int = 24
+    hidden: int = 48
+    type_dim: int = 16
+    epochs: int = 40
+    lr: float = 3e-3
+    seed: int = 0
+
+
+@dataclass
+class _Sequence:
+    """One DAG-ified training graph as (types, window adjacency rows)."""
+
+    types: np.ndarray          # (n,) type indices in topo order
+    windows: np.ndarray        # (n, window) 1 if connected to i-k-1
+
+
+def _to_sequences(graphs: list[CircuitGraph], window: int) -> list[_Sequence]:
+    sequences = []
+    for g in graphs:
+        a = dagify(g)
+        order = topological_order(a)
+        n = len(order)
+        types = np.array(
+            [type_index(g.node(int(v)).type) for v in order], dtype=np.int64
+        )
+        windows = np.zeros((n, window), dtype=np.float64)
+        pos = {int(v): i for i, v in enumerate(order)}
+        for src, dst in zip(*np.nonzero(a)):
+            i, j = pos[int(src)], pos[int(dst)]
+            k = j - i - 1
+            if 0 <= k < window:
+                windows[j, k] = 1.0
+        sequences.append(_Sequence(types, windows))
+    return sequences
+
+
+class GraphRNNBaseline:
+    """Autoregressive circuit generator with GraphRNN-S structure."""
+
+    def __init__(self, config: GraphRNNConfig | None = None):
+        self.config = config or GraphRNNConfig()
+        rng = np.random.default_rng(self.config.seed)
+        c = self.config
+        self.type_emb = Embedding(NUM_TYPES, c.type_dim, rng)
+        self.gru = GRUCell(c.type_dim + c.window, c.hidden, rng)
+        self.edge_mlp = MLP([c.hidden, c.hidden, c.window], rng)
+        self.attributes: AttributeSampler | None = None
+        self.position_prior: np.ndarray | None = None
+        self.losses: list[float] = []
+
+    def _parameters(self):
+        return (
+            self.type_emb.parameters()
+            + self.gru.parameters()
+            + self.edge_mlp.parameters()
+        )
+
+    # ------------------------------------------------------------------
+    def fit(self, graphs: list[CircuitGraph], verbose: bool = False
+            ) -> "GraphRNNBaseline":
+        if not graphs:
+            raise ValueError("need at least one training graph")
+        c = self.config
+        rng = np.random.default_rng(c.seed)
+        self.attributes = AttributeSampler(graphs)
+        self.position_prior = type_position_prior(graphs)
+        sequences = _to_sequences(graphs, c.window)
+        optimizer = Adam(self._parameters(), lr=c.lr)
+
+        for epoch in range(c.epochs):
+            epoch_loss = 0.0
+            for si in rng.permutation(len(sequences)):
+                seq = sequences[si]
+                optimizer.zero_grad()
+                loss = self._sequence_loss(seq)
+                loss.backward()
+                optimizer.step()
+                epoch_loss += loss.item()
+            self.losses.append(epoch_loss / len(sequences))
+            if verbose and epoch % 10 == 0:
+                print(f"[graphrnn] epoch {epoch} loss {self.losses[-1]:.4f}")
+        return self
+
+    def _sequence_loss(self, seq: _Sequence) -> Tensor:
+        c = self.config
+        n = len(seq.types)
+        h = Tensor(np.zeros((1, c.hidden)))
+        prev = np.zeros((1, c.window))
+        logit_rows = []
+        for i in range(n):
+            emb = self.type_emb(np.array([seq.types[i]]))
+            x = emb.concat(Tensor(prev), axis=-1)
+            h = self.gru(x, h)
+            logit_rows.append(self.edge_mlp(h))
+            prev = seq.windows[i:i + 1]
+        from ..nn import concat_all
+
+        logits = concat_all(logit_rows, axis=0)
+        return bce_with_logits(logits, seq.windows)
+
+    # ------------------------------------------------------------------
+    def generate(
+        self, num_nodes: int, rng: np.random.Generator, name: str = "graphrnn"
+    ) -> CircuitGraph:
+        """Sample a valid circuit DAG of ``num_nodes`` nodes."""
+        if self.attributes is None:
+            raise RuntimeError("call fit() first")
+        c = self.config
+        types, widths = self.attributes.sample(num_nodes, rng)
+        types, widths = order_attributes(
+            types, widths, self.position_prior, rng
+        )
+        types, widths = guaranteed_attributes(types, widths)
+
+        h_np = np.zeros((1, c.hidden))
+        prev = np.zeros((1, c.window))
+        probs = np.zeros((num_nodes, num_nodes))
+        sampled = np.zeros((num_nodes, num_nodes), dtype=bool)
+        for i in range(num_nodes):
+            x = np.concatenate(
+                [self.type_emb.weight.data[types[i]][None, :], prev], axis=-1
+            )
+            h_np = self._gru_np(x, h_np)
+            row_logits = self._mlp_np(h_np)[0]
+            row_probs = sigmoid_np(row_logits)
+            connect = rng.random(c.window) < row_probs
+            prev = np.zeros((1, c.window))
+            for k in range(c.window):
+                j = i - k - 1
+                if j < 0:
+                    break
+                probs[j, i] = row_probs[k]
+                if connect[k]:
+                    sampled[j, i] = True
+                    prev[0, k] = 1.0
+        return sequential_validity_refine(
+            types, widths, probs, name, rng, sampled_adjacency=sampled
+        )
+
+    # -- numpy inference helpers -------------------------------------------
+    def _gru_np(self, x: np.ndarray, h: np.ndarray) -> np.ndarray:
+        xh = np.concatenate([x, h], axis=-1)
+        z = sigmoid_np(xh @ self.gru.w_z.weight.data + self.gru.w_z.bias.data)
+        r = sigmoid_np(xh @ self.gru.w_r.weight.data + self.gru.w_r.bias.data)
+        xrh = np.concatenate([x, r * h], axis=-1)
+        h_tilde = np.tanh(
+            xrh @ self.gru.w_h.weight.data + self.gru.w_h.bias.data
+        )
+        return (1 - z) * h + z * h_tilde
+
+    def _mlp_np(self, x: np.ndarray) -> np.ndarray:
+        out = x
+        for layer in self.edge_mlp.layers[:-1]:
+            out = np.maximum(out @ layer.weight.data + layer.bias.data, 0.0)
+        last = self.edge_mlp.layers[-1]
+        return out @ last.weight.data + last.bias.data

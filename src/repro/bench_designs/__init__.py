@@ -1,0 +1,24 @@
+"""Benchmark design corpus: the Table I dataset substitute."""
+
+from .reference import core_like, tinyrocket_like
+from .suite import (
+    SPECS,
+    DesignSpec,
+    corpus_statistics,
+    load_corpus,
+    load_design,
+    reference_designs,
+    train_test_split,
+)
+
+__all__ = [
+    "SPECS",
+    "DesignSpec",
+    "core_like",
+    "corpus_statistics",
+    "load_corpus",
+    "load_design",
+    "reference_designs",
+    "tinyrocket_like",
+    "train_test_split",
+]

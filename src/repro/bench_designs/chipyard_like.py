@@ -1,0 +1,237 @@
+"""Chipyard-style benchmark generators: pipelined CPU-flavoured datapaths.
+
+The Chipyard designs in the paper's corpus are Chisel-generated RISC-V
+components; these generators emit the same structural idioms -- wide
+registered pipelines, register files with bypass muxes, instruction field
+decoders and multiply-accumulate units.
+"""
+
+from __future__ import annotations
+
+from ..ir import CircuitGraph, GraphBuilder
+from .common import binary_counter, equals_const
+
+
+def pipeline_alu(width: int = 16, stages: int = 3) -> CircuitGraph:
+    """N-stage registered ALU pipeline with per-stage transforms."""
+    b = GraphBuilder("pipeline_alu")
+    a = b.input("a", width)
+    c = b.input("b", width)
+    op = b.input("op", 2)
+
+    stage_val = b.add(a, c, width=width)
+    alt = b.xor(a, c)
+    stage_val = b.mux(b.bit(op, 0), stage_val, alt)
+    for s in range(stages):
+        reg = b.reg(f"stage{s}", width)
+        b.drive_reg(reg, stage_val)
+        rotated = b.concat(b.slice_(reg, width - 2, 0), b.bit(reg, width - 1))
+        bumped = b.add(reg, b.const(s + 1, width), width=width)
+        stage_val = b.mux(b.bit(op, 1), rotated, bumped)
+    out_reg = b.reg("pipe_out", width)
+    b.drive_reg(out_reg, stage_val)
+    b.output("result", out_reg)
+    return b.build()
+
+
+def regfile_bypass(entries: int = 4, width: int = 16) -> CircuitGraph:
+    """Small register file with write decoder and read-after-write bypass."""
+    if entries & (entries - 1):
+        raise ValueError("entries must be a power of two")
+    idx_w = max(1, entries.bit_length() - 1)
+    b = GraphBuilder("regfile_bypass")
+    waddr = b.input("waddr", idx_w)
+    wdata = b.input("wdata", width)
+    wen = b.input("wen", 1)
+    raddr = b.input("raddr", idx_w)
+
+    regs = [b.reg(f"x{i}", width) for i in range(entries)]
+    for i, reg in enumerate(regs):
+        hit = b.and_(wen, equals_const(b, waddr, i, idx_w), width=1)
+        b.drive_reg(reg, b.mux(hit, wdata, reg))
+
+    rdata = regs[0]
+    for i in range(1, entries):
+        rdata = b.mux(equals_const(b, raddr, i, idx_w), regs[i], rdata)
+    same_addr = b.eq(raddr, waddr)
+    bypass = b.and_(wen, same_addr, width=1)
+    rdata = b.mux(bypass, wdata, rdata)
+    out_reg = b.reg("rdata_q", width)
+    b.drive_reg(out_reg, rdata)
+    b.output("rdata", out_reg)
+    return b.build()
+
+
+def mul_pipe(width: int = 8) -> CircuitGraph:
+    """Two-stage pipelined multiplier with an accumulate option."""
+    b = GraphBuilder("mul_pipe")
+    a = b.input("a", width)
+    c = b.input("b", width)
+    acc_en = b.input("acc_en", 1)
+    a_q = b.reg("a_q", width)
+    b_q = b.reg("b_q", width)
+    b.drive_reg(a_q, a)
+    b.drive_reg(b_q, c)
+    product = b.mul(a_q, b_q, width=2 * width)
+    prod_q = b.reg("prod_q", 2 * width)
+    b.drive_reg(prod_q, product)
+    acc = b.reg("acc", 2 * width)
+    summed = b.add(acc, prod_q, width=2 * width)
+    b.drive_reg(acc, b.mux(acc_en, summed, prod_q))
+    b.output("product", prod_q)
+    b.output("accumulated", acc)
+    return b.build()
+
+
+def branch_unit(width: int = 16) -> CircuitGraph:
+    """Branch resolution: comparators, target adder, taken/target regs."""
+    b = GraphBuilder("branch_unit")
+    rs1 = b.input("rs1", width)
+    rs2 = b.input("rs2", width)
+    pc = b.input("pc", width)
+    offset = b.input("offset", width)
+    kind = b.input("kind", 2)
+
+    eq = b.eq(rs1, rs2)
+    lt = b.lt(rs1, rs2)
+    ne = b.not_(eq)
+    ge = b.not_(lt)
+    taken = b.mux(
+        equals_const(b, kind, 0, 2), eq,
+        b.mux(equals_const(b, kind, 1, 2), ne,
+              b.mux(equals_const(b, kind, 2, 2), lt, ge)),
+    )
+    target = b.add(pc, offset, width=width)
+    fallthrough = b.add(pc, b.const(4, width), width=width)
+    next_pc = b.mux(taken, target, fallthrough)
+    taken_q = b.reg("taken_q", 1)
+    next_pc_q = b.reg("next_pc_q", width)
+    b.drive_reg(taken_q, taken)
+    b.drive_reg(next_pc_q, next_pc)
+    b.output("branch_taken", taken_q)
+    b.output("branch_target", next_pc_q)
+    return b.build()
+
+
+def cache_ctrl(tag_width: int = 8, ways: int = 2) -> CircuitGraph:
+    """Cache controller: tag compare per way, valid bits, miss FSM."""
+    b = GraphBuilder("cache_ctrl")
+    req = b.input("req", 1)
+    tag_in = b.input("tag", tag_width)
+    state = b.reg("cc_state", 2)
+
+    hits = []
+    for w in range(ways):
+        tag_reg = b.reg(f"tag_way{w}", tag_width)
+        valid = b.reg(f"valid_way{w}", 1)
+        refill_this = b.and_(
+            equals_const(b, state, 2, 2),
+            equals_const(b, binary_counter(b, f"lru{w}", 1), w % 2, 1),
+            width=1,
+        )
+        b.drive_reg(tag_reg, b.mux(refill_this, tag_in, tag_reg))
+        b.drive_reg(valid, b.or_(valid, refill_this, width=1))
+        hits.append(b.and_(b.eq(tag_reg, tag_in), valid, width=1))
+    hit = hits[0]
+    for h in hits[1:]:
+        hit = b.or_(hit, h, width=1)
+
+    miss = b.and_(req, b.not_(hit), width=1)
+    idle = equals_const(b, state, 0, 2)
+    fetching = equals_const(b, state, 1, 2)
+    refilling = equals_const(b, state, 2, 2)
+    nxt = b.mux(
+        b.and_(idle, miss, width=1), b.const(1, 2),
+        b.mux(fetching, b.const(2, 2),
+              b.mux(refilling, b.const(0, 2), state)),
+    )
+    b.drive_reg(state, nxt)
+    b.output("cache_hit", hit)
+    b.output("cache_busy", b.not_(idle))
+    return b.build()
+
+
+def decode_unit(width: int = 32) -> CircuitGraph:
+    """Instruction decoder: field slices, opcode compares, control regs."""
+    b = GraphBuilder("decode_unit")
+    instr = b.input("instr", width)
+    opcode = b.slice_(instr, 6, 0)
+    rd = b.slice_(instr, 11, 7)
+    funct3 = b.slice_(instr, 14, 12)
+    rs1 = b.slice_(instr, 19, 15)
+    rs2 = b.slice_(instr, 24, 20)
+    imm = b.slice_(instr, min(31, width - 1), 20)
+
+    is_op = equals_const(b, opcode, 0x33, 7)
+    is_imm = equals_const(b, opcode, 0x13, 7)
+    is_load = equals_const(b, opcode, 0x03, 7)
+    is_store = equals_const(b, opcode, 0x23, 7)
+    is_branch = equals_const(b, opcode, 0x63, 7)
+
+    uses_imm = b.or_(is_imm, b.or_(is_load, is_store, width=1), width=1)
+    writes_rd = b.or_(is_op, b.or_(is_imm, is_load, width=1), width=1)
+
+    ctrl = b.concat(uses_imm, writes_rd)
+    ctrl = b.concat(is_branch, ctrl)
+    ctrl_q = b.reg("ctrl_q", 3)
+    b.drive_reg(ctrl_q, ctrl)
+    rd_q = b.reg("rd_q", 5)
+    b.drive_reg(rd_q, rd)
+    operands = b.concat(rs1, rs2)
+    operands_q = b.reg("operands_q", 10)
+    b.drive_reg(operands_q, operands)
+    imm_q = b.reg("imm_q", 12)
+    b.drive_reg(imm_q, imm)
+    sel3 = b.reg("funct3_q", 3)
+    b.drive_reg(sel3, funct3)
+    b.output("ctrl", ctrl_q)
+    b.output("rd_out", rd_q)
+    b.output("operands", operands_q)
+    b.output("imm_out", imm_q)
+    b.output("funct3_out", sel3)
+    return b.build()
+
+
+def mac_unit(width: int = 8) -> CircuitGraph:
+    """Multiply-accumulate with saturation, systolic-array flavour."""
+    b = GraphBuilder("mac_unit")
+    a = b.input("a", width)
+    w_in = b.input("w", width)
+    clear = b.input("clear", 1)
+    product = b.mul(a, w_in, width=2 * width)
+    acc = b.reg("mac_acc", 2 * width)
+    summed = b.add(acc, product, width=2 * width)
+    limit = b.const((1 << (2 * width)) - 1, 2 * width)
+    overflow = b.lt(summed, acc)  # wraparound detector
+    saturated = b.mux(overflow, limit, summed)
+    b.drive_reg(acc, b.mux(clear, b.const(0, 2 * width), saturated))
+    b.output("mac_out", acc)
+    b.output("mac_sat", overflow)
+    return b.build()
+
+
+def scrambler(width: int = 16) -> CircuitGraph:
+    """LFSR-based data scrambler with registered output stage."""
+    b = GraphBuilder("scrambler")
+    data = b.input("data", width)
+    from .common import lfsr
+
+    state = lfsr(b, "scramble_lfsr", width, taps=(width - 1, width // 2, 0))
+    mixed = b.xor(data, state)
+    out_q = b.reg("scrambled_q", width)
+    b.drive_reg(out_q, mixed)
+    b.output("scrambled", out_q)
+    b.output("lfsr_state", state)
+    return b.build()
+
+
+GENERATORS = {
+    "pipeline_alu": pipeline_alu,
+    "regfile_bypass": regfile_bypass,
+    "mul_pipe": mul_pipe,
+    "branch_unit": branch_unit,
+    "cache_ctrl": cache_ctrl,
+    "decode_unit": decode_unit,
+    "mac_unit": mac_unit,
+    "scrambler": scrambler,
+}

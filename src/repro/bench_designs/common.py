@@ -1,0 +1,60 @@
+"""Shared building blocks for the benchmark design generators."""
+
+from __future__ import annotations
+
+from ..ir import GraphBuilder
+
+
+def binary_counter(
+    b: GraphBuilder, name: str, width: int, enable: int | None = None
+) -> int:
+    """Free-running (or enabled) binary up-counter; returns the count reg."""
+    count = b.reg(name, width)
+    one = b.const(1, width)
+    inc = b.add(count, one, width=width)
+    if enable is None:
+        b.drive_reg(count, inc)
+    else:
+        b.drive_reg(count, b.mux(enable, inc, count))
+    return count
+
+
+def lfsr(b: GraphBuilder, name: str, width: int, taps: tuple[int, ...]) -> int:
+    """Fibonacci LFSR register; feedback is the XOR of the tap bits."""
+    state = b.reg(name, width)
+    feedback = b.bit(state, taps[0])
+    for tap in taps[1:]:
+        feedback = b.xor(feedback, b.bit(state, tap), width=1)
+    # Invert the feedback so the all-zero reset state still evolves.
+    feedback = b.not_(feedback)
+    shifted = b.slice_(state, width - 2, 0) if width > 1 else None
+    if shifted is None:
+        b.drive_reg(state, feedback)
+    else:
+        b.drive_reg(state, b.concat(shifted, feedback))
+    return state
+
+
+def equals_const(b: GraphBuilder, signal: int, value: int, width: int) -> int:
+    """1-bit flag: ``signal == value``."""
+    return b.eq(signal, b.const(value, width))
+
+
+def onehot_state_next(
+    b: GraphBuilder,
+    state: int,
+    width: int,
+    transitions: list[tuple[int, int, int]],
+    default: int,
+) -> int:
+    """Priority-encoded next-state logic.
+
+    ``transitions`` is a list of ``(current_value, condition_node, next_value)``;
+    the first matching row wins, otherwise ``default`` (a value) is kept.
+    """
+    nxt = b.const(default, width)
+    for current, cond, target in reversed(transitions):
+        here = equals_const(b, state, current, width)
+        take = b.and_(here, cond, width=1)
+        nxt = b.mux(take, b.const(target, width), nxt)
+    return nxt

@@ -1,0 +1,161 @@
+"""ITC'99-style benchmark generators: small control-dominated FSM designs.
+
+The ITC'99 suite (b01..b15) consists of compact sequential controllers;
+these generators produce circuits with the same flavour -- a state
+register, next-state priority logic, counters and serial data paths.
+"""
+
+from __future__ import annotations
+
+from ..ir import CircuitGraph, GraphBuilder
+from .common import binary_counter, equals_const, onehot_state_next
+
+
+def sequence_detector(pattern_width: int = 4) -> CircuitGraph:
+    """b01-like serial pattern detector with a shift register and FSM."""
+    b = GraphBuilder("seq_detector")
+    serial = b.input("serial_in", 1)
+    shift = b.reg("shift", pattern_width)
+    upper = b.slice_(shift, pattern_width - 2, 0)
+    b.drive_reg(shift, b.concat(upper, serial))
+    pattern = b.const((1 << pattern_width) - 2, pattern_width)  # e.g. 1110
+    hit = b.eq(shift, pattern)
+    hits = b.reg("hit_count", 4)
+    one = b.const(1, 4)
+    b.drive_reg(hits, b.mux(hit, b.add(hits, one, width=4), hits))
+    b.output("match", hit)
+    b.output("match_count", hits)
+    return b.build()
+
+
+def bcd_recognizer() -> CircuitGraph:
+    """b02-like serial BCD recognizer: 3-bit FSM over a serial input."""
+    b = GraphBuilder("bcd_recognizer")
+    bit_in = b.input("bit_in", 1)
+    state = b.reg("state", 3)
+    not_bit = b.not_(bit_in)
+    transitions = [
+        (0, bit_in, 1), (0, not_bit, 2),
+        (1, bit_in, 3), (1, not_bit, 4),
+        (2, bit_in, 4), (2, not_bit, 0),
+        (3, bit_in, 0), (3, not_bit, 5),
+        (4, bit_in, 5), (4, not_bit, 1),
+        (5, bit_in, 2), (5, not_bit, 0),
+    ]
+    b.drive_reg(state, onehot_state_next(b, state, 3, transitions, 0))
+    b.output("valid", equals_const(b, state, 5, 3))
+    b.output("state_out", state)
+    return b.build()
+
+
+def traffic_light(timer_width: int = 6) -> CircuitGraph:
+    """Traffic-light controller: 2-bit phase FSM plus a dwell timer."""
+    b = GraphBuilder("traffic_light")
+    phase = b.reg("phase", 2)
+    timer = b.reg("timer", timer_width)
+    one = b.const(1, timer_width)
+    green_time = b.const(40 % (1 << timer_width), timer_width)
+    yellow_time = b.const(8, timer_width)
+    red_time = b.const(32 % (1 << timer_width), timer_width)
+    limit = b.mux(
+        equals_const(b, phase, 0, 2), green_time,
+        b.mux(equals_const(b, phase, 1, 2), yellow_time, red_time),
+    )
+    expired = b.eq(timer, limit)
+    zero = b.const(0, timer_width)
+    b.drive_reg(timer, b.mux(expired, zero, b.add(timer, one, width=timer_width)))
+    two = b.const(2, 2)
+    wrap = b.eq(phase, two)
+    inc_phase = b.add(phase, b.const(1, 2), width=2)
+    next_phase = b.mux(wrap, b.const(0, 2), inc_phase)
+    b.drive_reg(phase, b.mux(expired, next_phase, phase))
+    b.output("phase_out", phase)
+    b.output("change", expired)
+    return b.build()
+
+
+def arbiter(requesters: int = 4) -> CircuitGraph:
+    """Rotating-priority arbiter: grant register + request masking."""
+    b = GraphBuilder("arbiter")
+    req = b.input("req", requesters)
+    last = b.reg("last_grant", requesters)
+    grant_bits = []
+    taken = None
+    for i in range(requesters):
+        r = b.bit(req, i)
+        was_last = b.bit(last, i)
+        eligible = b.and_(r, b.not_(was_last), width=1)
+        if taken is None:
+            grant = eligible
+            taken = eligible
+        else:
+            grant = b.and_(eligible, b.not_(taken), width=1)
+            taken = b.or_(taken, eligible, width=1)
+        grant_bits.append(grant)
+    grant_word = grant_bits[0]
+    for g in grant_bits[1:]:
+        grant_word = b.concat(g, grant_word)
+    any_grant = b.reduce_or(grant_word)
+    b.drive_reg(last, b.mux(any_grant, grant_word, last))
+    b.output("grant", grant_word)
+    b.output("busy", any_grant)
+    return b.build()
+
+
+def counter_timer(width: int = 8) -> CircuitGraph:
+    """Loadable timer with terminal-count flag (b03 flavour)."""
+    b = GraphBuilder("counter_timer")
+    load = b.input("load", 1)
+    load_value = b.input("load_value", width)
+    enable = b.input("enable", 1)
+    count = b.reg("count", width)
+    zero = b.const(0, width)
+    terminal = b.eq(count, zero)
+    dec = b.sub(count, b.const(1, width), width=width)
+    running = b.mux(terminal, count, dec)
+    gated = b.mux(enable, running, count)
+    b.drive_reg(count, b.mux(load, load_value, gated))
+    b.output("expired", terminal)
+    b.output("current", count)
+    return b.build()
+
+
+def shift_control(width: int = 8) -> CircuitGraph:
+    """b04-like shift unit: FSM-controlled parallel-load shift register."""
+    b = GraphBuilder("shift_control")
+    start = b.input("start", 1)
+    data = b.input("data", width)
+    state = b.reg("ctl_state", 2)
+    shreg = b.reg("shreg", width)
+    bits_left = b.reg("bits_left", 4)
+
+    idle = equals_const(b, state, 0, 2)
+    shifting = equals_const(b, state, 1, 2)
+    done_count = b.eq(bits_left, b.const(0, 4))
+
+    go = b.and_(idle, start, width=1)
+    finish = b.and_(shifting, done_count, width=1)
+    nxt_state = b.mux(go, b.const(1, 2), b.mux(finish, b.const(0, 2), state))
+    b.drive_reg(state, nxt_state)
+
+    shifted = b.concat(b.slice_(shreg, width - 2, 0), b.const(0, 1))
+    b.drive_reg(shreg, b.mux(go, data, b.mux(shifting, shifted, shreg)))
+    dec = b.sub(bits_left, b.const(1, 4), width=4)
+    b.drive_reg(
+        bits_left,
+        b.mux(go, b.const(width % 16, 4), b.mux(shifting, dec, bits_left)),
+    )
+    b.output("serial_out", b.bit(shreg, width - 1))
+    b.output("busy", shifting)
+    return b.build()
+
+
+#: name -> zero-argument constructor with default parameters.
+GENERATORS = {
+    "seq_detector": sequence_detector,
+    "bcd_recognizer": bcd_recognizer,
+    "traffic_light": traffic_light,
+    "arbiter": arbiter,
+    "counter_timer": counter_timer,
+    "shift_control": shift_control,
+}

@@ -1,0 +1,267 @@
+"""OpenCores-style benchmark generators: communication and DSP blocks.
+
+These mirror the Verilog peripheral cores the paper samples from the
+OpenCores / IWLS 2005 collection: UARTs, SPI, FIFOs, CRC, ALUs and pulse
+generators -- mixed control and datapath at moderate widths.
+"""
+
+from __future__ import annotations
+
+from ..ir import CircuitGraph, GraphBuilder
+from .common import binary_counter, equals_const
+
+
+def uart_tx(data_bits: int = 8, baud_width: int = 4) -> CircuitGraph:
+    """UART transmitter: baud counter, bit counter, shift register, FSM."""
+    b = GraphBuilder("uart_tx")
+    start = b.input("start", 1)
+    data = b.input("data", data_bits)
+    busy = b.reg("busy", 1)
+    baud = b.reg("baud", baud_width)
+    bitcnt = b.reg("bitcnt", 4)
+    shifter = b.reg("shifter", data_bits + 1)
+
+    baud_top = b.const((1 << baud_width) - 1, baud_width)
+    tick = b.eq(baud, baud_top)
+    b.drive_reg(
+        baud,
+        b.mux(busy, b.add(baud, b.const(1, baud_width), width=baud_width),
+              b.const(0, baud_width)),
+    )
+
+    go = b.and_(start, b.not_(busy), width=1)
+    frame = b.concat(data, b.const(0, 1))  # data plus start bit
+    shifted = b.concat(b.const(1, 1), b.slice_(shifter, data_bits, 1))
+    advance = b.and_(busy, tick, width=1)
+    b.drive_reg(shifter, b.mux(go, frame, b.mux(advance, shifted, shifter)))
+
+    last_bit = b.eq(bitcnt, b.const((data_bits + 1) % 16, 4))
+    b.drive_reg(
+        bitcnt,
+        b.mux(go, b.const(0, 4),
+              b.mux(advance, b.add(bitcnt, b.const(1, 4), width=4), bitcnt)),
+    )
+    done = b.and_(advance, last_bit, width=1)
+    b.drive_reg(busy, b.or_(go, b.and_(busy, b.not_(done), width=1), width=1))
+    b.output("tx", b.bit(shifter, 0))
+    b.output("tx_busy", busy)
+    return b.build()
+
+
+def uart_rx(data_bits: int = 8, sample_width: int = 4) -> CircuitGraph:
+    """UART receiver: edge detect, mid-bit sampling, shift assembly."""
+    b = GraphBuilder("uart_rx")
+    rx = b.input("rx", 1)
+    active = b.reg("active", 1)
+    sampler = b.reg("sampler", sample_width)
+    bitcnt = b.reg("rx_bitcnt", 4)
+    assembled = b.reg("assembled", data_bits)
+    valid = b.reg("valid", 1)
+
+    start_edge = b.and_(b.not_(rx), b.not_(active), width=1)
+    sample_top = b.const((1 << sample_width) - 1, sample_width)
+    tick = b.eq(sampler, sample_top)
+    b.drive_reg(
+        sampler,
+        b.mux(active,
+              b.add(sampler, b.const(1, sample_width), width=sample_width),
+              b.const(0, sample_width)),
+    )
+    shifted = b.concat(rx, b.slice_(assembled, data_bits - 1, 1))
+    capture = b.and_(active, tick, width=1)
+    b.drive_reg(assembled, b.mux(capture, shifted, assembled))
+
+    frame_done = b.eq(bitcnt, b.const(data_bits % 16, 4))
+    b.drive_reg(
+        bitcnt,
+        b.mux(start_edge, b.const(0, 4),
+              b.mux(capture, b.add(bitcnt, b.const(1, 4), width=4), bitcnt)),
+    )
+    stop = b.and_(capture, frame_done, width=1)
+    b.drive_reg(
+        active,
+        b.or_(start_edge, b.and_(active, b.not_(stop), width=1), width=1),
+    )
+    b.drive_reg(valid, stop)
+    b.output("data_out", assembled)
+    b.output("data_valid", valid)
+    return b.build()
+
+
+def spi_master(width: int = 8, div_width: int = 3) -> CircuitGraph:
+    """SPI master: clock divider, MOSI shift register, transfer counter."""
+    b = GraphBuilder("spi_master")
+    start = b.input("start", 1)
+    mosi_data = b.input("mosi_data", width)
+    miso = b.input("miso", 1)
+    div = b.reg("clk_div", div_width)
+    sck = b.reg("sck", 1)
+    tx_shift = b.reg("tx_shift", width)
+    rx_shift = b.reg("rx_shift", width)
+    remaining = b.reg("remaining", 4)
+
+    div_top = b.const((1 << div_width) - 1, div_width)
+    tick = b.eq(div, div_top)
+    b.drive_reg(
+        div, b.mux(tick, b.const(0, div_width),
+                   b.add(div, b.const(1, div_width), width=div_width))
+    )
+    b.drive_reg(sck, b.mux(tick, b.not_(sck), sck))
+
+    busy = b.not_(b.eq(remaining, b.const(0, 4)))
+    go = b.and_(start, b.not_(busy), width=1)
+    shift_en = b.and_(b.and_(busy, tick, width=1), sck, width=1)
+    tx_next = b.concat(b.slice_(tx_shift, width - 2, 0), b.const(0, 1))
+    b.drive_reg(tx_shift, b.mux(go, mosi_data, b.mux(shift_en, tx_next, tx_shift)))
+    rx_next = b.concat(b.slice_(rx_shift, width - 2, 0), miso)
+    b.drive_reg(rx_shift, b.mux(shift_en, rx_next, rx_shift))
+    dec = b.sub(remaining, b.const(1, 4), width=4)
+    b.drive_reg(
+        remaining,
+        b.mux(go, b.const(width % 16, 4), b.mux(shift_en, dec, remaining)),
+    )
+    b.output("mosi", b.bit(tx_shift, width - 1))
+    b.output("spi_busy", busy)
+    b.output("rx_data", rx_shift)
+    return b.build()
+
+
+def fifo_sync(depth: int = 4, width: int = 8) -> CircuitGraph:
+    """Synchronous FIFO with register storage and pointer math."""
+    if depth & (depth - 1):
+        raise ValueError("depth must be a power of two")
+    ptr_width = max(1, depth.bit_length() - 1)
+    b = GraphBuilder("fifo_sync")
+    push = b.input("push", 1)
+    pop = b.input("pop", 1)
+    data_in = b.input("data_in", width)
+
+    wptr = b.reg("wptr", ptr_width)
+    rptr = b.reg("rptr", ptr_width)
+    count = b.reg("count", ptr_width + 1)
+    slots = [b.reg(f"slot{i}", width) for i in range(depth)]
+
+    full = b.eq(count, b.const(depth, ptr_width + 1))
+    empty = b.eq(count, b.const(0, ptr_width + 1))
+    do_push = b.and_(push, b.not_(full), width=1)
+    do_pop = b.and_(pop, b.not_(empty), width=1)
+
+    for i, slot in enumerate(slots):
+        here = b.and_(do_push, equals_const(b, wptr, i, ptr_width), width=1)
+        b.drive_reg(slot, b.mux(here, data_in, slot))
+
+    one_p = b.const(1, ptr_width)
+    b.drive_reg(wptr, b.mux(do_push, b.add(wptr, one_p, width=ptr_width), wptr))
+    b.drive_reg(rptr, b.mux(do_pop, b.add(rptr, one_p, width=ptr_width), rptr))
+    one_c = b.const(1, ptr_width + 1)
+    up = b.add(count, one_c, width=ptr_width + 1)
+    down = b.sub(count, one_c, width=ptr_width + 1)
+    only_push = b.and_(do_push, b.not_(do_pop), width=1)
+    only_pop = b.and_(do_pop, b.not_(do_push), width=1)
+    b.drive_reg(count, b.mux(only_push, up, b.mux(only_pop, down, count)))
+
+    head = slots[0]
+    for i in range(1, depth):
+        head = b.mux(equals_const(b, rptr, i, ptr_width), slots[i], head)
+    b.output("data_out", head)
+    b.output("fifo_full", full)
+    b.output("fifo_empty", empty)
+    return b.build()
+
+
+def crc_generator(data_width: int = 8, crc_width: int = 8,
+                  polynomial: int = 0x07) -> CircuitGraph:
+    """Parallel CRC: XOR network over the CRC register and input word."""
+    b = GraphBuilder("crc_gen")
+    data = b.input("data", data_width)
+    enable = b.input("enable", 1)
+    crc = b.reg("crc_state", crc_width)
+
+    # Bit-serial CRC unrolled data_width times over single-bit nodes.
+    state_bits = [b.bit(crc, i) for i in range(crc_width)]
+    for j in range(data_width):
+        din = b.bit(data, j)
+        feedback = b.xor(state_bits[crc_width - 1], din, width=1)
+        new_bits = []
+        for i in range(crc_width):
+            prev = state_bits[i - 1] if i > 0 else b.const(0, 1)
+            if (polynomial >> i) & 1:
+                new_bits.append(b.xor(prev, feedback, width=1))
+            else:
+                new_bits.append(prev if i > 0 else feedback)
+        state_bits = new_bits
+    word = state_bits[0]
+    for bit in state_bits[1:]:
+        word = b.concat(bit, word)
+    b.drive_reg(crc, b.mux(enable, word, crc))
+    b.output("crc_out", crc)
+    return b.build()
+
+
+def alu(width: int = 8) -> CircuitGraph:
+    """Registered ALU: add/sub/and/or/xor/shift ops behind an op mux."""
+    b = GraphBuilder("alu")
+    op = b.input("op", 3)
+    a = b.input("a", width)
+    c = b.input("b", width)
+    results = [
+        b.add(a, c, width=width),
+        b.sub(a, c, width=width),
+        b.and_(a, c),
+        b.or_(a, c),
+        b.xor(a, c),
+        b.shl(a, b.slice_(c, 2, 0)),
+        b.shr(a, b.slice_(c, 2, 0)),
+        b.not_(a),
+    ]
+    selected = results[-1]
+    for i in reversed(range(len(results) - 1)):
+        selected = b.mux(equals_const(b, op, i, 3), results[i], selected)
+    out_reg = b.reg("result", width)
+    b.drive_reg(out_reg, selected)
+    flag_zero = b.eq(selected, b.const(0, width))
+    flag_reg = b.reg("zero_flag", 1)
+    b.drive_reg(flag_reg, flag_zero)
+    b.output("alu_result", out_reg)
+    b.output("alu_zero", flag_reg)
+    return b.build()
+
+
+def pwm(width: int = 8) -> CircuitGraph:
+    """PWM generator: free counter compared against a latched duty cycle."""
+    b = GraphBuilder("pwm")
+    duty_in = b.input("duty", width)
+    update = b.input("update", 1)
+    counter = binary_counter(b, "pwm_counter", width)
+    duty = b.reg("duty_reg", width)
+    b.drive_reg(duty, b.mux(update, duty_in, duty))
+    out = b.lt(counter, duty)
+    out_reg = b.reg("pwm_out", 1)
+    b.drive_reg(out_reg, out)
+    b.output("pwm", out_reg)
+    b.output("position", counter)
+    return b.build()
+
+
+def gray_counter(width: int = 8) -> CircuitGraph:
+    """Binary counter with registered Gray-code output."""
+    b = GraphBuilder("gray_counter")
+    enable = b.input("en", 1)
+    binary = binary_counter(b, "bin_count", width, enable=enable)
+    gray = b.xor(binary, b.shr(binary, b.const(1, 1)), width=width)
+    gray_reg = b.reg("gray_reg", width)
+    b.drive_reg(gray_reg, gray)
+    b.output("gray", gray_reg)
+    return b.build()
+
+
+GENERATORS = {
+    "uart_tx": uart_tx,
+    "uart_rx": uart_rx,
+    "spi_master": spi_master,
+    "fifo_sync": fifo_sync,
+    "crc_gen": crc_generator,
+    "alu": alu,
+    "pwm": pwm,
+    "gray_counter": gray_counter,
+}

@@ -1,0 +1,131 @@
+"""Reference designs for the Table II structural-similarity experiment.
+
+The paper reports Table II on two designs, "TinyRocket" and "Core".
+These constructors build their stand-ins: larger compositions of the
+corpus idioms (fetch counter, decoder, register file, ALU, branch unit)
+so that the generative models are trained/evaluated on graphs with
+realistic heterogeneous structure.
+"""
+
+from __future__ import annotations
+
+from ..ir import CircuitGraph, GraphBuilder
+from .common import equals_const
+
+
+def tinyrocket_like(width: int = 16, regfile_entries: int = 8) -> CircuitGraph:
+    """A single-issue in-order core skeleton (TinyRocket stand-in)."""
+    idx_w = max(1, regfile_entries.bit_length() - 1)
+    b = GraphBuilder("tinyrocket_like")
+    instr = b.input("instr", 32)
+
+    # Fetch: program counter.
+    pc = b.reg("pc", width)
+
+    # Decode: field extraction.
+    opcode = b.slice_(instr, 6, 0)
+    rd = b.slice_(instr, 7 + idx_w - 1, 7)
+    rs1 = b.slice_(instr, 15 + idx_w - 1, 15)
+    rs2 = b.slice_(instr, 20 + idx_w - 1, 20)
+    imm = b.slice_(instr, 31, 20)
+    is_alu = equals_const(b, opcode, 0x33, 7)
+    is_imm = equals_const(b, opcode, 0x13, 7)
+    is_branch = equals_const(b, opcode, 0x63, 7)
+
+    # Register file with write-back.
+    regs = [b.reg(f"x{i}", width) for i in range(regfile_entries)]
+
+    def read(addr: int) -> int:
+        value = regs[0]
+        for i in range(1, regfile_entries):
+            value = b.mux(equals_const(b, addr, i, idx_w), regs[i], value)
+        return value
+
+    op_a = read(rs1)
+    op_b_reg = read(rs2)
+    imm_ext = b.slice_(imm, width - 1, 0) if width <= 12 else imm
+    op_b = b.mux(is_imm, imm_ext, op_b_reg)
+
+    # Execute: ALU.
+    funct = b.slice_(instr, 14, 12)
+    alu_results = [
+        b.add(op_a, op_b, width=width),
+        b.sub(op_a, op_b, width=width),
+        b.xor(op_a, op_b, width=width),
+        b.or_(op_a, op_b, width=width),
+        b.and_(op_a, op_b, width=width),
+    ]
+    alu_out = alu_results[-1]
+    for i in reversed(range(len(alu_results) - 1)):
+        alu_out = b.mux(equals_const(b, funct, i, 3), alu_results[i], alu_out)
+
+    # Branch resolution.
+    eq = b.eq(op_a, op_b_reg)
+    lt = b.lt(op_a, op_b_reg)
+    take = b.mux(b.bit(funct, 0), b.not_(eq), b.mux(b.bit(funct, 2), lt, eq))
+    taken = b.and_(is_branch, take, width=1)
+    target = b.add(pc, imm_ext, width=width)
+    seq_pc = b.add(pc, b.const(4, width), width=width)
+    b.drive_reg(pc, b.mux(taken, target, seq_pc))
+
+    # Write-back.
+    wb_en = b.or_(is_alu, is_imm, width=1)
+    for i, reg in enumerate(regs):
+        hit = b.and_(wb_en, equals_const(b, rd, i, idx_w), width=1)
+        b.drive_reg(reg, b.mux(hit, alu_out, reg))
+
+    result_q = b.reg("wb_q", width)
+    b.drive_reg(result_q, alu_out)
+    b.output("pc_out", pc)
+    b.output("wb_value", result_q)
+    b.output("branch_taken", taken)
+    return b.build()
+
+
+def core_like(width: int = 12) -> CircuitGraph:
+    """A small accumulator machine with FSM control (Core stand-in)."""
+    b = GraphBuilder("core_like")
+    cmd = b.input("cmd", 3)
+    operand = b.input("operand", width)
+    start = b.input("start", 1)
+
+    state = b.reg("core_state", 2)
+    acc = b.reg("acc", width)
+    cnt = b.reg("step_cnt", 4)
+
+    idle = equals_const(b, state, 0, 2)
+    running = equals_const(b, state, 1, 2)
+    flushing = equals_const(b, state, 2, 2)
+    go = b.and_(idle, start, width=1)
+    steps_done = b.eq(cnt, b.const(12, 4))
+    b.drive_reg(
+        state,
+        b.mux(go, b.const(1, 2),
+              b.mux(b.and_(running, steps_done, width=1), b.const(2, 2),
+                    b.mux(flushing, b.const(0, 2), state))),
+    )
+    b.drive_reg(
+        cnt,
+        b.mux(go, b.const(0, 4),
+              b.mux(running, b.add(cnt, b.const(1, 4), width=4), cnt)),
+    )
+
+    alu = [
+        b.add(acc, operand, width=width),
+        b.sub(acc, operand, width=width),
+        b.xor(acc, operand, width=width),
+        b.shl(acc, b.slice_(operand, 1, 0), width=width),
+        b.mul(acc, operand, width=width),
+    ]
+    chosen = alu[-1]
+    for i in reversed(range(len(alu) - 1)):
+        chosen = b.mux(equals_const(b, cmd, i, 3), alu[i], chosen)
+    b.drive_reg(acc, b.mux(running, chosen, b.mux(flushing, b.const(0, width), acc)))
+
+    zero = b.eq(acc, b.const(0, width))
+    flag_q = b.reg("zero_q", 1)
+    b.drive_reg(flag_q, zero)
+    b.output("acc_out", acc)
+    b.output("acc_zero", flag_q)
+    b.output("core_busy", b.not_(idle))
+    return b.build()

@@ -1,0 +1,106 @@
+"""The 22-design benchmark corpus (the paper's Table I dataset stand-in).
+
+The paper assembles 22 open-source designs from ITC'99 (6, VHDL),
+OpenCores (8, Verilog) and Chipyard (8, Chisel).  This suite provides 22
+generated designs in the same three families, a deterministic train/test
+split (15 train / 7 test, as in the paper), and the size statistics that
+Table I reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir import CircuitGraph
+from . import chipyard_like, itc_like, opencores_like
+from .reference import core_like, tinyrocket_like
+
+
+@dataclass(frozen=True)
+class DesignSpec:
+    name: str
+    family: str        # "itc99" | "opencores" | "chipyard"
+    hdl_type: str      # the family's original HDL, for the Table I column
+    build: callable
+
+    def instantiate(self) -> CircuitGraph:
+        graph = self.build()
+        graph.name = self.name
+        return graph
+
+
+def _specs() -> list[DesignSpec]:
+    specs: list[DesignSpec] = []
+    for name, fn in itc_like.GENERATORS.items():
+        specs.append(DesignSpec(name, "itc99", "VHDL", fn))
+    for name, fn in opencores_like.GENERATORS.items():
+        specs.append(DesignSpec(name, "opencores", "Verilog", fn))
+    for name, fn in chipyard_like.GENERATORS.items():
+        specs.append(DesignSpec(name, "chipyard", "Chisel", fn))
+    return specs
+
+
+SPECS: tuple[DesignSpec, ...] = tuple(_specs())
+assert len(SPECS) == 22, "the corpus must contain exactly 22 designs"
+
+
+def load_corpus() -> list[CircuitGraph]:
+    """Instantiate all 22 designs."""
+    return [spec.instantiate() for spec in SPECS]
+
+
+def load_design(name: str) -> CircuitGraph:
+    for spec in SPECS:
+        if spec.name == name:
+            return spec.instantiate()
+    raise KeyError(f"unknown design {name!r}")
+
+
+def reference_designs() -> dict[str, CircuitGraph]:
+    """The two Table II evaluation designs."""
+    return {
+        "tinyrocket_like": tinyrocket_like(),
+        "core_like": core_like(),
+    }
+
+
+def train_test_split(
+    seed: int = 2025, num_test: int = 7
+) -> tuple[list[CircuitGraph], list[CircuitGraph]]:
+    """The paper's 15/7 random split, deterministic under ``seed``."""
+    rng = np.random.default_rng(seed)
+    order = rng.permutation(len(SPECS))
+    test_idx = set(order[:num_test].tolist())
+    train, test = [], []
+    for i, spec in enumerate(SPECS):
+        (test if i in test_idx else train).append(spec.instantiate())
+    return train, test
+
+
+def corpus_statistics(gate_counts: dict[str, int]) -> list[dict]:
+    """Table I rows: per-family design count and {min, median, max} size.
+
+    ``gate_counts`` maps design name to synthesized cell count (the
+    Table I "Design Scale" column uses post-synthesis gate counts).
+    """
+    rows = []
+    for family, hdl in (
+        ("itc99", "VHDL"), ("opencores", "Verilog"), ("chipyard", "Chisel")
+    ):
+        names = [s.name for s in SPECS if s.family == family]
+        sizes = [gate_counts[n] for n in names if n in gate_counts]
+        if not sizes:
+            continue
+        rows.append(
+            {
+                "source": family,
+                "num_designs": len(names),
+                "hdl_type": hdl,
+                "min_gates": int(np.min(sizes)),
+                "median_gates": int(np.median(sizes)),
+                "max_gates": int(np.max(sizes)),
+            }
+        )
+    return rows

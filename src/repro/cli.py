@@ -1,0 +1,185 @@
+"""Command-line interface: generate, synthesize and inspect circuits.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro.cli corpus                       # list the 22 designs
+    python -m repro.cli synth uart_tx --period 1.0   # PPA report
+    python -m repro.cli emit uart_tx -o uart_tx.v    # design -> Verilog
+    python -m repro.cli generate -n 5 --nodes 60 -o out_dir
+                                                     # train + generate
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .bench_designs import SPECS, load_design
+    from .synth import synthesize
+
+    print(f"{'name':<18s}{'family':<12s}{'nodes':>7s}{'edges':>7s}"
+          f"{'regs':>6s}{'cells':>7s}{'scpr':>7s}")
+    for spec in SPECS:
+        g = load_design(spec.name)
+        result = synthesize(g, clock_period=args.period)
+        print(
+            f"{spec.name:<18s}{spec.family:<12s}{g.num_nodes:>7d}"
+            f"{g.num_edges:>7d}{len(g.registers()):>6d}"
+            f"{result.num_cells:>7d}{result.scpr:>7.2f}"
+        )
+    return 0
+
+
+def _load_graph(source: str):
+    from .bench_designs import SPECS, load_design
+    from .hdl import parse_verilog
+    from .ir import CircuitGraph
+
+    if source in {s.name for s in SPECS}:
+        return load_design(source)
+    path = pathlib.Path(source)
+    if not path.exists():
+        raise SystemExit(f"error: {source!r} is neither a corpus design "
+                         "nor a readable file")
+    text = path.read_text()
+    if path.suffix == ".json":
+        return CircuitGraph.from_json(text)
+    return parse_verilog(text)
+
+
+def _cmd_synth(args: argparse.Namespace) -> int:
+    from .synth import synthesize
+
+    graph = _load_graph(args.design)
+    result = synthesize(graph, clock_period=args.period)
+    print(f"design:      {graph.name}")
+    print(f"rtl nodes:   {graph.num_nodes} ({graph.num_edges} edges)")
+    print(f"cells:       {result.num_cells}")
+    print(f"flip-flops:  {result.num_dffs} / {graph.total_register_bits()} "
+          f"bits (SCPR {result.scpr:.2f})")
+    print(f"area:        {result.area:.2f} um^2 (PCS {result.pcs:.3f})")
+    print(f"WNS:         {result.wns:+.3f} ns @ {args.period} ns")
+    print(f"TNS:         {result.tns:+.3f} ns over {result.nvp} paths")
+    return 0
+
+
+def _cmd_emit(args: argparse.Namespace) -> int:
+    from .hdl import generate_verilog
+
+    graph = _load_graph(args.design)
+    if args.netlist:
+        from .synth import emit_netlist_verilog, synthesize
+
+        result = synthesize(graph, clock_period=args.period)
+        text = emit_netlist_verilog(result.netlist)
+    else:
+        text = generate_verilog(graph)
+    if args.output:
+        pathlib.Path(args.output).write_text(text)
+        print(f"wrote {args.output}")
+    else:
+        print(text, end="")
+    return 0
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from .bench_designs import train_test_split
+    from .diffusion import DiffusionConfig
+    from .hdl import generate_verilog
+    from .mcts import MCTSConfig
+    from .pipeline import SynCircuit, SynCircuitConfig
+    from .synth import synthesize
+
+    train, _ = train_test_split(seed=2025)
+    config = SynCircuitConfig(
+        diffusion=DiffusionConfig(
+            epochs=args.epochs, hidden=48, num_layers=4, neg_ratio=8, seed=args.seed
+        ),
+        mcts=MCTSConfig(
+            num_simulations=args.simulations, max_depth=8, branching=6,
+            clock_period=args.period, seed=args.seed,
+        ),
+        degree_guidance=0.5,
+        reward="synthesis",
+        seed=args.seed,
+    )
+    print(f"training SynCircuit on {len(train)} designs "
+          f"({args.epochs} epochs) ...")
+    pipeline = SynCircuit(config).fit(train)
+    records = pipeline.generate(
+        args.count, num_nodes=args.nodes, optimize=not args.no_optimize,
+        seed=args.seed,
+    )
+    out_dir = pathlib.Path(args.output)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    manifest = []
+    for rec in records:
+        graph = rec.graph
+        result = synthesize(graph, clock_period=args.period)
+        (out_dir / f"{graph.name}.v").write_text(generate_verilog(graph))
+        (out_dir / f"{graph.name}.json").write_text(graph.to_json())
+        manifest.append({
+            "name": graph.name,
+            "nodes": graph.num_nodes,
+            "edges": graph.num_edges,
+            "cells": result.num_cells,
+            "area": result.area,
+            "wns": result.wns,
+            "scpr": result.scpr,
+        })
+        print(f"  {graph.name}: {graph.num_nodes} nodes, "
+              f"SCPR {result.scpr:.2f}, area {result.area:.1f}")
+    (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=2))
+    print(f"wrote {len(records)} circuits to {out_dir}/")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="SynCircuit reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_corpus = sub.add_parser("corpus", help="list the 22-design corpus")
+    p_corpus.add_argument("--period", type=float, default=1.0)
+    p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_synth = sub.add_parser("synth", help="synthesize a design and report PPA")
+    p_synth.add_argument("design", help="corpus name, .v file or .json file")
+    p_synth.add_argument("--period", type=float, default=1.0)
+    p_synth.set_defaults(func=_cmd_synth)
+
+    p_emit = sub.add_parser("emit", help="emit a design as Verilog")
+    p_emit.add_argument("design")
+    p_emit.add_argument("-o", "--output", default=None)
+    p_emit.add_argument(
+        "--netlist", action="store_true",
+        help="emit the mapped gate-level netlist instead of the RTL",
+    )
+    p_emit.add_argument("--period", type=float, default=1.0)
+    p_emit.set_defaults(func=_cmd_emit)
+
+    p_gen = sub.add_parser("generate", help="generate synthetic circuits")
+    p_gen.add_argument("-n", "--count", type=int, default=5)
+    p_gen.add_argument("--nodes", type=int, default=60)
+    p_gen.add_argument("--epochs", type=int, default=120)
+    p_gen.add_argument("--simulations", type=int, default=60)
+    p_gen.add_argument("--period", type=float, default=1.0)
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--no-optimize", action="store_true")
+    p_gen.add_argument("-o", "--output", default="generated")
+    p_gen.set_defaults(func=_cmd_generate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,25 @@
+"""Phase 1: diffusion-based directed cyclic graph generation."""
+
+from .features import AttributeSampler, graph_attributes, width_bucket
+from .model import DenoisingNetwork, DirectedMPNNEncoder, TransEDecoder
+from .persist import load_trained, save_trained
+from .sample import SampleResult, sample_initial_graph
+from .schedule import NoiseSchedule
+from .train import DiffusionConfig, TrainedDiffusion, train_diffusion
+
+__all__ = [
+    "AttributeSampler",
+    "DenoisingNetwork",
+    "DiffusionConfig",
+    "DirectedMPNNEncoder",
+    "NoiseSchedule",
+    "SampleResult",
+    "TrainedDiffusion",
+    "TransEDecoder",
+    "graph_attributes",
+    "load_trained",
+    "sample_initial_graph",
+    "save_trained",
+    "train_diffusion",
+    "width_bucket",
+]

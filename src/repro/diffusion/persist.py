@@ -1,0 +1,87 @@
+"""Persistence for trained diffusion generators (.npz bundles).
+
+A saved bundle contains the denoiser weights, the schedule/configuration
+scalars and the empirical attribute table, so a generator can be trained
+once and reused across sessions without retraining.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+
+from .features import AttributeSampler
+from .model import DenoisingNetwork
+from .schedule import NoiseSchedule
+from .train import DiffusionConfig, TrainedDiffusion
+
+
+def save_trained(trained: TrainedDiffusion, path: str | pathlib.Path) -> None:
+    """Write a trained generator to ``path`` (.npz)."""
+    config_json = json.dumps({
+        "num_steps": trained.config.num_steps,
+        "hidden": trained.config.hidden,
+        "num_layers": trained.config.num_layers,
+        "time_dim": trained.config.time_dim,
+        "epochs": trained.config.epochs,
+        "lr": trained.config.lr,
+        "neg_ratio": trained.config.neg_ratio,
+        "noise_density": trained.schedule.noise_density,
+        "seed": trained.config.seed,
+    })
+    arrays = {
+        f"param_{key}": value
+        for key, value in trained.model.state_dict().items()
+    }
+    np.savez_compressed(
+        path,
+        config=np.frombuffer(config_json.encode(), dtype=np.uint8),
+        attribute_pairs=trained.attributes._pairs,
+        losses=np.asarray(trained.losses, dtype=np.float64),
+        mean_edges_per_node=np.float64(trained.mean_edges_per_node),
+        **arrays,
+    )
+
+
+def load_trained(path: str | pathlib.Path) -> TrainedDiffusion:
+    """Restore a generator saved by :func:`save_trained`."""
+    with np.load(path) as bundle:
+        config_raw = json.loads(bytes(bundle["config"]).decode())
+        config = DiffusionConfig(
+            num_steps=config_raw["num_steps"],
+            hidden=config_raw["hidden"],
+            num_layers=config_raw["num_layers"],
+            time_dim=config_raw["time_dim"],
+            epochs=config_raw["epochs"],
+            lr=config_raw["lr"],
+            neg_ratio=config_raw["neg_ratio"],
+            noise_density=config_raw["noise_density"],
+            seed=config_raw["seed"],
+        )
+        model = DenoisingNetwork(
+            hidden=config.hidden,
+            num_layers=config.num_layers,
+            time_dim=config.time_dim,
+            seed=config.seed,
+        )
+        state = {
+            key[len("param_"):]: bundle[key]
+            for key in bundle.files
+            if key.startswith("param_")
+        }
+        model.load_state_dict(state)
+        schedule = NoiseSchedule.cosine(
+            config.num_steps, config.noise_density
+        )
+        sampler = AttributeSampler.__new__(AttributeSampler)
+        sampler._pairs = bundle["attribute_pairs"]
+        return TrainedDiffusion(
+            model=model,
+            schedule=schedule,
+            attributes=sampler,
+            config=config,
+            losses=list(bundle["losses"]),
+            mean_edges_per_node=float(bundle["mean_edges_per_node"]),
+        )

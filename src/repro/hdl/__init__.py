@@ -1,0 +1,12 @@
+"""HDL <-> circuit graph bijection (Verilog subset)."""
+
+from .codegen import generate_verilog, signal_name
+from .parser import HDLSyntaxError, parse_expression, parse_verilog
+
+__all__ = [
+    "HDLSyntaxError",
+    "generate_verilog",
+    "parse_expression",
+    "parse_verilog",
+    "signal_name",
+]

@@ -1,0 +1,516 @@
+"""Verilog subset -> circuit graph (the ``f`` direction of the bijection).
+
+Accepts the synthesizable subset emitted by :mod:`repro.hdl.codegen` plus a
+little hand-written slack: nested expressions are decomposed into
+intermediate operator nodes, plain-wire aliases are folded away, and
+``_pad`` helper wires produced by the code generator are resolved back to
+their drivers.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from ..ir import CircuitGraph, NodeType
+
+# ---------------------------------------------------------------------------
+# Lexer
+# ---------------------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<WS>\s+)
+  | (?P<COMMENT>//[^\n]*)
+  | (?P<SIZED>\d+\s*'[bdh][0-9a-fA-F_xzXZ]+)
+  | (?P<NUM>\d+)
+  | (?P<ID>[A-Za-z_][A-Za-z0-9_$]*)
+  | (?P<OP><<|>>|==|!=|<=|[~|&^+\-*<>?:\[\]{}(),;=@])
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> list[str]:
+    tokens: list[str] = []
+    pos = 0
+    while pos < len(text):
+        m = _TOKEN_RE.match(text, pos)
+        if not m:
+            raise HDLSyntaxError(f"unexpected character {text[pos]!r} at offset {pos}")
+        pos = m.end()
+        kind = m.lastgroup
+        if kind in ("WS", "COMMENT"):
+            continue
+        tokens.append(m.group().replace(" ", ""))
+    return tokens
+
+
+class HDLSyntaxError(ValueError):
+    """Raised when the input is outside the supported Verilog subset."""
+
+
+# ---------------------------------------------------------------------------
+# Expression AST
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Ident:
+    name: str
+
+
+@dataclass
+class Literal:
+    value: int
+    width: int
+
+
+@dataclass
+class UnOp:
+    op: str  # "~" or "|"
+    operand: "Expr"
+
+
+@dataclass
+class BinOp:
+    op: str
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass
+class Concat:
+    parts: list
+
+
+@dataclass
+class Ternary:
+    cond: "Expr"
+    if_true: "Expr"
+    if_false: "Expr"
+
+
+@dataclass
+class Slice:
+    source: "Expr"
+    hi: int
+    lo: int
+
+
+Expr = Ident | Literal | UnOp | BinOp | Concat | Ternary | Slice
+
+
+_BINOP_TYPES = {
+    "+": NodeType.ADD,
+    "-": NodeType.SUB,
+    "*": NodeType.MUL,
+    "&": NodeType.AND,
+    "|": NodeType.OR,
+    "^": NodeType.XOR,
+    "==": NodeType.EQ,
+    "<": NodeType.LT,
+    "<<": NodeType.SHL,
+    ">>": NodeType.SHR,
+}
+
+# Precedence (low to high); ternary handled separately above these.
+_PRECEDENCE = [
+    {"|"},
+    {"^"},
+    {"&"},
+    {"==", "!="},
+    {"<", ">"},
+    {"<<", ">>"},
+    {"+", "-"},
+    {"*"},
+]
+
+
+class _ExprParser:
+    def __init__(self, tokens: list[str]):
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> str | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> str:
+        tok = self.peek()
+        if tok is None:
+            raise HDLSyntaxError("unexpected end of expression")
+        self.pos += 1
+        return tok
+
+    def expect(self, tok: str) -> None:
+        got = self.next()
+        if got != tok:
+            raise HDLSyntaxError(f"expected {tok!r}, got {got!r}")
+
+    def parse(self) -> Expr:
+        expr = self.parse_ternary()
+        if self.peek() is not None:
+            raise HDLSyntaxError(f"trailing tokens: {self.tokens[self.pos:]}")
+        return expr
+
+    def parse_ternary(self) -> Expr:
+        cond = self.parse_binary(0)
+        if self.peek() == "?":
+            self.next()
+            if_true = self.parse_ternary()
+            self.expect(":")
+            if_false = self.parse_ternary()
+            return Ternary(cond, if_true, if_false)
+        return cond
+
+    def parse_binary(self, level: int) -> Expr:
+        if level >= len(_PRECEDENCE):
+            return self.parse_unary()
+        left = self.parse_binary(level + 1)
+        while self.peek() in _PRECEDENCE[level]:
+            op = self.next()
+            right = self.parse_binary(level + 1)
+            left = BinOp(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expr:
+        tok = self.peek()
+        if tok in ("~", "|"):
+            self.next()
+            return UnOp(tok, self.parse_unary())
+        return self.parse_postfix()
+
+    def parse_postfix(self) -> Expr:
+        expr = self.parse_primary()
+        while self.peek() == "[":
+            self.next()
+            hi = int(self.next())
+            if self.peek() == ":":
+                self.next()
+                lo = int(self.next())
+            else:
+                lo = hi
+            self.expect("]")
+            expr = Slice(expr, hi, lo)
+        return expr
+
+    def parse_primary(self) -> Expr:
+        tok = self.next()
+        if tok == "(":
+            inner = self.parse_ternary()
+            self.expect(")")
+            return inner
+        if tok == "{":
+            parts = [self.parse_ternary()]
+            while self.peek() == ",":
+                self.next()
+                parts.append(self.parse_ternary())
+            self.expect("}")
+            return Concat(parts)
+        if "'" in tok:
+            return _parse_sized_literal(tok)
+        if tok.isdigit():
+            value = int(tok)
+            return Literal(value, max(1, value.bit_length()))
+        if re.fullmatch(r"[A-Za-z_][A-Za-z0-9_$]*", tok):
+            return Ident(tok)
+        raise HDLSyntaxError(f"unexpected token {tok!r} in expression")
+
+
+def _parse_sized_literal(tok: str) -> Literal:
+    width_str, rest = tok.split("'", 1)
+    base_char, digits = rest[0].lower(), rest[1:].replace("_", "")
+    base = {"d": 10, "b": 2, "h": 16}[base_char]
+    return Literal(int(digits, base), int(width_str))
+
+
+def parse_expression(text: str) -> Expr:
+    return _ExprParser(tokenize(text)).parse()
+
+
+# ---------------------------------------------------------------------------
+# Module parser
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Signal:
+    name: str
+    kind: str  # "input" | "output" | "wire" | "reg"
+    width: int
+    order: int
+
+
+_DECL_RE = re.compile(
+    r"^(input|output|wire|reg)\s*(?:\[\s*(\d+)\s*:\s*(\d+)\s*\])?\s*"
+    r"([A-Za-z_][A-Za-z0-9_$]*)\s*(?:=\s*(.*))?$",
+    re.DOTALL,
+)
+_ASSIGN_RE = re.compile(
+    r"^assign\s+([A-Za-z_][A-Za-z0-9_$]*)\s*=\s*(.*)$", re.DOTALL
+)
+_NONBLOCKING_RE = re.compile(
+    r"^([A-Za-z_][A-Za-z0-9_$]*)\s*<=\s*(.*)$", re.DOTALL
+)
+_MODULE_RE = re.compile(
+    r"module\s+([A-Za-z_][A-Za-z0-9_$]*)\s*\(([^)]*)\)\s*;", re.DOTALL
+)
+
+
+def parse_verilog(text: str) -> CircuitGraph:
+    """Parse one module of the supported subset into a circuit graph."""
+    text = re.sub(r"//[^\n]*", "", text)
+    m = _MODULE_RE.search(text)
+    if not m:
+        raise HDLSyntaxError("no module declaration found")
+    module_name = m.group(1)
+    body = text[m.end():]
+    end = body.find("endmodule")
+    if end < 0:
+        raise HDLSyntaxError("missing endmodule")
+    body = body[:end]
+
+    # Pull out always blocks first (they contain ';' internally).
+    seq_assigns: dict[str, str] = {}
+    def _grab_always(match: re.Match) -> str:
+        block = match.group(1)
+        for stmt in block.split(";"):
+            stmt = stmt.strip()
+            if not stmt:
+                continue
+            nb = _NONBLOCKING_RE.match(stmt)
+            if not nb:
+                raise HDLSyntaxError(f"unsupported sequential statement: {stmt!r}")
+            seq_assigns[nb.group(1)] = nb.group(2).strip()
+        return ""
+
+    body = re.sub(
+        r"always\s*@\s*\(\s*posedge\s+clk\s*\)\s*begin(.*?)end",
+        _grab_always,
+        body,
+        flags=re.DOTALL,
+    )
+
+    signals: dict[str, _Signal] = {}
+    comb_assigns: dict[str, str] = {}
+    order = 0
+    for raw_stmt in body.split(";"):
+        stmt = " ".join(raw_stmt.split())
+        if not stmt:
+            continue
+        decl = _DECL_RE.match(stmt)
+        if decl:
+            kind, hi, lo, name, init = decl.groups()
+            width = 1 if hi is None else int(hi) - int(lo) + 1
+            if name == "clk":
+                continue
+            signals[name] = _Signal(name, kind, width, order)
+            order += 1
+            if init:
+                comb_assigns[name] = init.strip()
+            continue
+        assign = _ASSIGN_RE.match(stmt)
+        if assign:
+            comb_assigns[assign.group(1)] = assign.group(2).strip()
+            continue
+        raise HDLSyntaxError(f"unsupported statement: {stmt!r}")
+
+    return _GraphBuilderFromAST(
+        module_name, signals, comb_assigns, seq_assigns
+    ).build()
+
+
+class _GraphBuilderFromAST:
+    """Second pass: signals + expression ASTs -> CircuitGraph."""
+
+    def __init__(
+        self,
+        module_name: str,
+        signals: dict[str, _Signal],
+        comb_assigns: dict[str, str],
+        seq_assigns: dict[str, str],
+    ):
+        self.graph = CircuitGraph(module_name)
+        self.signals = signals
+        self.comb_assigns = comb_assigns
+        self.seq_assigns = seq_assigns
+        self.node_of: dict[str, int] = {}
+        self.alias_of: dict[str, str] = {}
+        self._in_progress: set[str] = set()
+
+    def build(self) -> CircuitGraph:
+        # Fold plain aliases (assign x = y with no operator), incl. _pad wires.
+        for name, expr_text in list(self.comb_assigns.items()):
+            sig = self.signals.get(name)
+            if sig is None:
+                raise HDLSyntaxError(f"assignment to undeclared signal {name!r}")
+            if sig.kind == "wire":
+                expr = parse_expression(expr_text)
+                if isinstance(expr, Ident) and expr.name in self.signals:
+                    src = self.signals[expr.name]
+                    if src.width == sig.width or name.endswith("_pad"):
+                        self.alias_of[name] = expr.name
+                        del self.comb_assigns[name]
+
+        # Inputs become IN nodes immediately (declaration order).
+        for sig in sorted(self.signals.values(), key=lambda s: s.order):
+            if sig.kind == "input":
+                self.node_of[sig.name] = self.graph.add_node(
+                    NodeType.IN, sig.width, name=sig.name
+                )
+
+        # Registers get placeholder nodes first so feedback can resolve.
+        for sig in sorted(self.signals.values(), key=lambda s: s.order):
+            if sig.kind == "reg":
+                if sig.name not in self.seq_assigns:
+                    raise HDLSyntaxError(
+                        f"register {sig.name!r} has no sequential assignment"
+                    )
+                self.node_of[sig.name] = self.graph.add_node(
+                    NodeType.REG, sig.width, name=sig.name
+                )
+
+        # Wires with defining expressions.
+        for sig in sorted(self.signals.values(), key=lambda s: s.order):
+            if sig.kind == "wire" and sig.name not in self.alias_of:
+                self._resolve(sig.name)
+
+        # Register D inputs.
+        for name, expr_text in self.seq_assigns.items():
+            reg_node = self.node_of[name]
+            driver = self._build_expr(
+                parse_expression(expr_text), self.signals[name].width
+            )
+            self.graph.set_parent(reg_node, 0, driver)
+
+        # Outputs last.
+        for sig in sorted(self.signals.values(), key=lambda s: s.order):
+            if sig.kind == "output":
+                if sig.name not in self.comb_assigns:
+                    raise HDLSyntaxError(f"output {sig.name!r} is never assigned")
+                driver = self._build_expr(
+                    parse_expression(self.comb_assigns[sig.name]), sig.width
+                )
+                out_node = self.graph.add_node(NodeType.OUT, sig.width, name=sig.name)
+                self.graph.set_parent(out_node, 0, driver)
+        return self.graph
+
+    # -- signal resolution ------------------------------------------------
+    def _resolve(self, name: str) -> int:
+        """Node id driving signal ``name`` (following aliases)."""
+        while name in self.alias_of:
+            name = self.alias_of[name]
+        if name in self.node_of:
+            return self.node_of[name]
+        if name in self._in_progress:
+            raise HDLSyntaxError(f"combinational cycle through wire {name!r}")
+        sig = self.signals.get(name)
+        if sig is None:
+            raise HDLSyntaxError(f"use of undeclared signal {name!r}")
+        if name not in self.comb_assigns:
+            raise HDLSyntaxError(f"wire {name!r} is never assigned")
+        self._in_progress.add(name)
+        node = self._build_expr(
+            parse_expression(self.comb_assigns[name]), sig.width, target=name
+        )
+        self._in_progress.discard(name)
+        self.node_of[name] = node
+        return node
+
+    # -- expression lowering ------------------------------------------------
+    def _build_expr(self, expr: Expr, width: int, target: str | None = None) -> int:
+        """Create graph nodes for ``expr``; result node has ``width``."""
+        g = self.graph
+        if isinstance(expr, Ident):
+            return self._resolve(expr.name)
+        if isinstance(expr, Literal):
+            node = g.add_node(
+                NodeType.CONST, max(expr.width, 1),
+                params={"value": expr.value}, name=target,
+            )
+            return node
+        if isinstance(expr, UnOp):
+            if expr.op == "~":
+                operand = self._build_expr(expr.operand, width)
+                node = g.add_node(NodeType.NOT, width, name=target)
+                g.set_parent(node, 0, operand)
+                return node
+            if expr.op == "|":
+                operand = self._build_expr(expr.operand, width)
+                node = g.add_node(NodeType.REDUCE_OR, 1, name=target)
+                g.set_parent(node, 0, operand)
+                return node
+            raise HDLSyntaxError(f"unsupported unary operator {expr.op!r}")
+        if isinstance(expr, BinOp):
+            ntype = _BINOP_TYPES.get(expr.op)
+            if ntype is None:
+                raise HDLSyntaxError(f"unsupported operator {expr.op!r}")
+            out_width = 1 if ntype in (NodeType.EQ, NodeType.LT) else width
+            left = self._build_expr(expr.left, width)
+            right = self._build_expr(expr.right, width)
+            node = g.add_node(ntype, out_width, name=target)
+            g.set_parent(node, 0, left)
+            g.set_parent(node, 1, right)
+            return node
+        if isinstance(expr, Concat):
+            parts = [
+                self._build_expr(p, self._expr_width(p, width)) for p in expr.parts
+            ]
+            node = parts[0]
+            # Left-fold into binary CONCAT nodes ({a, b, c} == {{a, b}, c}).
+            # The outermost node takes the *declared* width: assignment
+            # semantics truncate/extend the concatenation to the target.
+            for k, nxt in enumerate(parts[1:]):
+                last = k == len(parts) - 2
+                w = width if last else g.node(node).width + g.node(nxt).width
+                cc = g.add_node(NodeType.CONCAT, w, name=target)
+                g.set_parent(cc, 0, node)
+                g.set_parent(cc, 1, nxt)
+                node = cc
+            return node
+        if isinstance(expr, Ternary):
+            cond_expr = expr.cond
+            # Codegen always emits (|sel) ? a : b; fold the reduction into
+            # the MUX select when the operand is a plain signal.
+            if isinstance(cond_expr, UnOp) and cond_expr.op == "|":
+                sel = self._build_expr(
+                    cond_expr.operand,
+                    self._expr_width(cond_expr.operand, width),
+                )
+            else:
+                sel = self._build_expr(
+                    cond_expr, self._expr_width(cond_expr, width)
+                )
+            if_true = self._build_expr(expr.if_true, width)
+            if_false = self._build_expr(expr.if_false, width)
+            node = g.add_node(NodeType.MUX, width, name=target)
+            g.set_parents(node, [sel, if_true, if_false])
+            return node
+        if isinstance(expr, Slice):
+            src_width_hint = max(expr.hi + 1, width)
+            src = self._build_expr(expr.source, src_width_hint)
+            node = g.add_node(
+                NodeType.SLICE,
+                expr.hi - expr.lo + 1,
+                params={"lo": expr.lo},
+                name=target,
+            )
+            g.set_parent(node, 0, src)
+            return node
+        raise HDLSyntaxError(f"unsupported expression node {expr!r}")
+
+    def _expr_width(self, expr: Expr, default: int) -> int:
+        """Best-effort width of a sub-expression for intermediate nodes."""
+        if isinstance(expr, Ident):
+            name = expr.name
+            while name in self.alias_of:
+                name = self.alias_of[name]
+            sig = self.signals.get(name)
+            return sig.width if sig else default
+        if isinstance(expr, Literal):
+            return expr.width
+        if isinstance(expr, Slice):
+            return expr.hi - expr.lo + 1
+        if isinstance(expr, (UnOp,)) and expr.op == "|":
+            return 1
+        return default

@@ -1,0 +1,43 @@
+"""Circuit intermediate representation: typed directed cyclic graphs."""
+
+from .builder import GraphBuilder
+from .graph import CircuitGraph, Node, from_adjacency
+from .node_types import (
+    ARITY,
+    NUM_TYPES,
+    NodeType,
+    arity_of,
+    is_sequential,
+    type_from_index,
+    type_index,
+)
+from .validate import (
+    ValidationReport,
+    arity_violations,
+    assert_valid,
+    find_combinational_cycles,
+    has_combinational_loop,
+    validate,
+    would_create_combinational_loop,
+)
+
+__all__ = [
+    "ARITY",
+    "NUM_TYPES",
+    "CircuitGraph",
+    "GraphBuilder",
+    "Node",
+    "NodeType",
+    "ValidationReport",
+    "arity_of",
+    "arity_violations",
+    "assert_valid",
+    "find_combinational_cycles",
+    "from_adjacency",
+    "has_combinational_loop",
+    "is_sequential",
+    "type_from_index",
+    "type_index",
+    "validate",
+    "would_create_combinational_loop",
+]

@@ -1,0 +1,162 @@
+"""Fluent construction helper for :class:`CircuitGraph`.
+
+The benchmark design generators build circuits programmatically; this
+builder removes the slot-wiring boilerplate and applies the standard RTL
+width-inference rules (binary ops take the max operand width, comparisons
+are single-bit, concat widths add, etc.).
+"""
+
+from __future__ import annotations
+
+from .graph import CircuitGraph
+from .node_types import NodeType
+
+
+class GraphBuilder:
+    """Builds a circuit graph node by node.
+
+    Registers are created first (so they can appear in feedback paths) and
+    closed later with :meth:`drive_reg`.
+    """
+
+    def __init__(self, name: str = "design"):
+        self.graph = CircuitGraph(name)
+
+    # -- leaves ---------------------------------------------------------
+    def input(self, name: str, width: int) -> int:
+        return self.graph.add_node(NodeType.IN, width, name=name)
+
+    def const(self, value: int, width: int, name: str | None = None) -> int:
+        if value < 0 or value >= (1 << width):
+            raise ValueError(f"constant {value} does not fit in {width} bits")
+        return self.graph.add_node(
+            NodeType.CONST, width, params={"value": value}, name=name
+        )
+
+    def reg(self, name: str, width: int) -> int:
+        return self.graph.add_node(NodeType.REG, width, name=name)
+
+    def drive_reg(self, reg: int, next_value: int) -> int:
+        """Close a register's feedback: ``next_value`` becomes its D input."""
+        if self.graph.node(reg).type is not NodeType.REG:
+            raise ValueError(f"node {reg} is not a register")
+        self.graph.set_parent(reg, 0, next_value)
+        return reg
+
+    # -- unary ----------------------------------------------------------
+    def not_(self, a: int, name: str | None = None) -> int:
+        node = self.graph.add_node(
+            NodeType.NOT, self.graph.node(a).width, name=name
+        )
+        self.graph.set_parent(node, 0, a)
+        return node
+
+    def reduce_or(self, a: int, name: str | None = None) -> int:
+        node = self.graph.add_node(NodeType.REDUCE_OR, 1, name=name)
+        self.graph.set_parent(node, 0, a)
+        return node
+
+    def slice_(self, a: int, hi: int, lo: int, name: str | None = None) -> int:
+        if hi < lo or lo < 0:
+            raise ValueError(f"bad slice bounds [{hi}:{lo}]")
+        node = self.graph.add_node(
+            NodeType.SLICE, hi - lo + 1, params={"lo": lo}, name=name
+        )
+        self.graph.set_parent(node, 0, a)
+        return node
+
+    def bit(self, a: int, index: int, name: str | None = None) -> int:
+        return self.slice_(a, index, index, name=name)
+
+    # -- binary ---------------------------------------------------------
+    def _binary(
+        self, op: NodeType, a: int, b: int, width: int | None, name: str | None
+    ) -> int:
+        if width is None:
+            width = max(self.graph.node(a).width, self.graph.node(b).width)
+        node = self.graph.add_node(op, width, name=name)
+        self.graph.set_parent(node, 0, a)
+        self.graph.set_parent(node, 1, b)
+        return node
+
+    def add(self, a: int, b: int, width: int | None = None, name: str | None = None) -> int:
+        return self._binary(NodeType.ADD, a, b, width, name)
+
+    def sub(self, a: int, b: int, width: int | None = None, name: str | None = None) -> int:
+        return self._binary(NodeType.SUB, a, b, width, name)
+
+    def mul(self, a: int, b: int, width: int | None = None, name: str | None = None) -> int:
+        if width is None:
+            width = self.graph.node(a).width + self.graph.node(b).width
+        return self._binary(NodeType.MUL, a, b, width, name)
+
+    def and_(self, a: int, b: int, width: int | None = None, name: str | None = None) -> int:
+        return self._binary(NodeType.AND, a, b, width, name)
+
+    def or_(self, a: int, b: int, width: int | None = None, name: str | None = None) -> int:
+        return self._binary(NodeType.OR, a, b, width, name)
+
+    def xor(self, a: int, b: int, width: int | None = None, name: str | None = None) -> int:
+        return self._binary(NodeType.XOR, a, b, width, name)
+
+    def eq(self, a: int, b: int, name: str | None = None) -> int:
+        node = self.graph.add_node(NodeType.EQ, 1, name=name)
+        self.graph.set_parent(node, 0, a)
+        self.graph.set_parent(node, 1, b)
+        return node
+
+    def lt(self, a: int, b: int, name: str | None = None) -> int:
+        node = self.graph.add_node(NodeType.LT, 1, name=name)
+        self.graph.set_parent(node, 0, a)
+        self.graph.set_parent(node, 1, b)
+        return node
+
+    def shl(self, a: int, b: int, width: int | None = None, name: str | None = None) -> int:
+        if width is None:
+            width = self.graph.node(a).width
+        return self._binary(NodeType.SHL, a, b, width, name)
+
+    def shr(self, a: int, b: int, width: int | None = None, name: str | None = None) -> int:
+        if width is None:
+            width = self.graph.node(a).width
+        return self._binary(NodeType.SHR, a, b, width, name)
+
+    def concat(self, hi: int, lo: int, name: str | None = None) -> int:
+        """``{hi, lo}``: hi occupies the upper bits."""
+        width = self.graph.node(hi).width + self.graph.node(lo).width
+        node = self.graph.add_node(NodeType.CONCAT, width, name=name)
+        self.graph.set_parent(node, 0, hi)
+        self.graph.set_parent(node, 1, lo)
+        return node
+
+    # -- ternary ---------------------------------------------------------
+    def mux(
+        self, sel: int, if_true: int, if_false: int,
+        width: int | None = None, name: str | None = None,
+    ) -> int:
+        """``sel ? if_true : if_false`` (slot order: sel, then data)."""
+        if width is None:
+            width = max(
+                self.graph.node(if_true).width, self.graph.node(if_false).width
+            )
+        node = self.graph.add_node(NodeType.MUX, width, name=name)
+        self.graph.set_parent(node, 0, sel)
+        self.graph.set_parent(node, 1, if_true)
+        self.graph.set_parent(node, 2, if_false)
+        return node
+
+    # -- sinks ------------------------------------------------------------
+    def output(self, name: str, source: int) -> int:
+        node = self.graph.add_node(
+            NodeType.OUT, self.graph.node(source).width, name=name
+        )
+        self.graph.set_parent(node, 0, source)
+        return node
+
+    # -- finish -----------------------------------------------------------
+    def build(self, check: bool = True) -> CircuitGraph:
+        if check:
+            from .validate import assert_valid
+
+            assert_valid(self.graph)
+        return self.graph

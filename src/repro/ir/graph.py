@@ -1,0 +1,283 @@
+"""Directed cyclic graph representation of an RTL circuit.
+
+A :class:`CircuitGraph` is the ``G = (V, E, X)`` object of the paper: nodes
+carry a type and a width attribute, edges are directed from a parent (driver)
+to a child (consumer).  Because HDL semantics distinguish operand order
+(``a - b`` is not ``b - a`` and a mux select is not a data input), parents are
+stored in *ordered slots*; the unordered edge set used by the generative
+models is derived from the slots.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+import numpy as np
+
+from .node_types import ARITY, NodeType, arity_of, is_sequential
+
+
+@dataclass
+class Node:
+    """One word-level RTL node.
+
+    ``params`` holds type-specific extras, e.g. ``{"value": 3}`` for a
+    constant or ``{"lo": 2}`` for a bit-selection's low index.
+    """
+
+    id: int
+    type: NodeType
+    width: int
+    params: dict = field(default_factory=dict)
+    name: str | None = None
+
+    def copy(self) -> "Node":
+        return Node(self.id, self.type, self.width, dict(self.params), self.name)
+
+
+class CircuitGraph:
+    """Mutable directed cyclic graph with typed, width-annotated nodes."""
+
+    def __init__(self, name: str = "design"):
+        self.name = name
+        self._nodes: list[Node] = []
+        self._parents: list[list[int | None]] = []
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(
+        self,
+        node_type: NodeType,
+        width: int,
+        params: dict | None = None,
+        name: str | None = None,
+    ) -> int:
+        """Append a node and return its id.  Parent slots start empty."""
+        if width < 1:
+            raise ValueError(f"node width must be >= 1, got {width}")
+        node_id = len(self._nodes)
+        self._nodes.append(Node(node_id, node_type, width, params or {}, name))
+        self._parents.append([None] * arity_of(node_type))
+        return node_id
+
+    def set_parent(self, child: int, slot: int, parent: int) -> None:
+        """Connect ``parent -> child`` into the given ordered slot."""
+        self._check_id(child)
+        self._check_id(parent)
+        slots = self._parents[child]
+        if not 0 <= slot < len(slots):
+            raise IndexError(
+                f"node {child} ({self._nodes[child].type}) has "
+                f"{len(slots)} parent slots, slot {slot} is out of range"
+            )
+        slots[slot] = parent
+
+    def set_parents(self, child: int, parents: Iterable[int]) -> None:
+        """Fill all parent slots of ``child`` at once."""
+        parents = list(parents)
+        expected = arity_of(self._nodes[child].type)
+        if len(parents) != expected:
+            raise ValueError(
+                f"node {child} ({self._nodes[child].type}) needs {expected} "
+                f"parents, got {len(parents)}"
+            )
+        for slot, parent in enumerate(parents):
+            self.set_parent(child, slot, parent)
+
+    def clear_parents(self, child: int) -> None:
+        self._check_id(child)
+        self._parents[child] = [None] * arity_of(self._nodes[child].type)
+
+    # ------------------------------------------------------------------
+    # Inspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(1 for slots in self._parents for p in slots if p is not None)
+
+    def node(self, node_id: int) -> Node:
+        self._check_id(node_id)
+        return self._nodes[node_id]
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes)
+
+    def parents(self, node_id: int) -> list[int | None]:
+        """Ordered parent slots (may contain ``None`` while under construction)."""
+        self._check_id(node_id)
+        return list(self._parents[node_id])
+
+    def filled_parents(self, node_id: int) -> list[int]:
+        """Parents that are actually connected."""
+        return [p for p in self._parents[node_id] if p is not None]
+
+    def edges(self) -> Iterator[tuple[int, int]]:
+        """Yield directed edges ``(parent, child)`` including duplicates
+        when the same driver feeds several slots of one node."""
+        for child, slots in enumerate(self._parents):
+            for parent in slots:
+                if parent is not None:
+                    yield (parent, child)
+
+    def children(self, node_id: int) -> list[int]:
+        """All nodes that consume ``node_id`` (computed, deduplicated)."""
+        self._check_id(node_id)
+        out = []
+        for child, slots in enumerate(self._parents):
+            if any(p == node_id for p in slots):
+                out.append(child)
+        return out
+
+    def child_map(self) -> list[list[int]]:
+        """Fanout lists for every node in one pass (deduplicated per child)."""
+        fanout: list[list[int]] = [[] for _ in self._nodes]
+        for child, slots in enumerate(self._parents):
+            seen = set()
+            for parent in slots:
+                if parent is not None and parent not in seen:
+                    fanout[parent].append(child)
+                    seen.add(parent)
+        return fanout
+
+    def nodes_of_type(self, node_type: NodeType) -> list[int]:
+        return [n.id for n in self._nodes if n.type is node_type]
+
+    def registers(self) -> list[int]:
+        return [n.id for n in self._nodes if is_sequential(n.type)]
+
+    def inputs(self) -> list[int]:
+        return self.nodes_of_type(NodeType.IN)
+
+    def outputs(self) -> list[int]:
+        return self.nodes_of_type(NodeType.OUT)
+
+    def total_register_bits(self) -> int:
+        """Sum of widths of all sequential signals (SCPR denominator)."""
+        return sum(self._nodes[r].width for r in self.registers())
+
+    # ------------------------------------------------------------------
+    # Matrix views
+    # ------------------------------------------------------------------
+    def adjacency(self) -> np.ndarray:
+        """Boolean adjacency matrix ``A[i, j] = 1`` iff edge ``i -> j``."""
+        n = len(self._nodes)
+        a = np.zeros((n, n), dtype=bool)
+        for child, slots in enumerate(self._parents):
+            for parent in slots:
+                if parent is not None:
+                    a[parent, child] = True
+        return a
+
+    def type_indices(self) -> np.ndarray:
+        from .node_types import type_index
+
+        return np.array([type_index(n.type) for n in self._nodes], dtype=np.int64)
+
+    def widths(self) -> np.ndarray:
+        return np.array([n.width for n in self._nodes], dtype=np.int64)
+
+    # ------------------------------------------------------------------
+    # Copies and serialisation
+    # ------------------------------------------------------------------
+    def copy(self) -> "CircuitGraph":
+        g = CircuitGraph(self.name)
+        g._nodes = [n.copy() for n in self._nodes]
+        g._parents = [list(slots) for slots in self._parents]
+        return g
+
+    def to_dict(self) -> dict:
+        return {
+            "name": self.name,
+            "nodes": [
+                {
+                    "id": n.id,
+                    "type": n.type.value,
+                    "width": n.width,
+                    "params": n.params,
+                    "name": n.name,
+                }
+                for n in self._nodes
+            ],
+            "parents": [list(slots) for slots in self._parents],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CircuitGraph":
+        g = cls(data.get("name", "design"))
+        for spec in data["nodes"]:
+            node_id = g.add_node(
+                NodeType(spec["type"]),
+                spec["width"],
+                dict(spec.get("params") or {}),
+                spec.get("name"),
+            )
+            assert node_id == spec["id"], "node ids must be dense and ordered"
+        for child, slots in enumerate(data["parents"]):
+            for slot, parent in enumerate(slots):
+                if parent is not None:
+                    g.set_parent(child, slot, parent)
+        return g
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict())
+
+    @classmethod
+    def from_json(cls, text: str) -> "CircuitGraph":
+        return cls.from_dict(json.loads(text))
+
+    # ------------------------------------------------------------------
+    def _check_id(self, node_id: int) -> None:
+        if not 0 <= node_id < len(self._nodes):
+            raise IndexError(f"node id {node_id} out of range [0, {len(self._nodes)})")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CircuitGraph({self.name!r}, nodes={self.num_nodes}, "
+            f"edges={self.num_edges})"
+        )
+
+
+def from_adjacency(
+    adjacency: np.ndarray,
+    types: Iterable[NodeType],
+    widths: Iterable[int],
+    name: str = "design",
+) -> CircuitGraph:
+    """Build a graph from an adjacency matrix and attribute vectors.
+
+    Parent slot order is the ascending parent-id order; this is the
+    convention used when a generative model emits an unordered edge set.
+    Extra parents beyond the node's arity raise; missing parents leave
+    empty slots (the graph may then fail validation).
+    """
+    types = list(types)
+    widths = list(widths)
+    n = adjacency.shape[0]
+    if adjacency.shape != (n, n):
+        raise ValueError("adjacency must be square")
+    if len(types) != n or len(widths) != n:
+        raise ValueError("types/widths length must match adjacency size")
+    g = CircuitGraph(name)
+    for t, w in zip(types, widths):
+        g.add_node(t, int(w))
+    for child in range(n):
+        parents = np.flatnonzero(adjacency[:, child])
+        slots = ARITY[types[child]]
+        if len(parents) > slots:
+            raise ValueError(
+                f"node {child} ({types[child]}) admits {slots} parents, "
+                f"adjacency provides {len(parents)}"
+            )
+        for slot, parent in enumerate(parents):
+            g.set_parent(child, slot, int(parent))
+    return g

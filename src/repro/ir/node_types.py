@@ -1,0 +1,120 @@
+"""Node type system for the circuit intermediate representation.
+
+The paper represents HDL code as a directed cyclic graph whose nodes carry a
+*type* and a *width* attribute.  The node type uniquely determines the number
+of parent nodes (the fan-in arity) -- this is the first circuit constraint in
+the paper's constraint set ``C``.  For example a ``MUX`` requires three
+parents (select, then the two data inputs) while an ``ADD`` requires two.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NodeType(enum.Enum):
+    """Word-level RTL operator types.
+
+    The paper's categories are: IO port, arithmetic operator, register,
+    bit selection and concatenate operator.  We enumerate the concrete
+    operators inside the "arithmetic" category so that elaboration into a
+    gate-level netlist is well defined.
+    """
+
+    # IO and leaves (no parents).
+    IN = "in"
+    CONST = "const"
+    # Sinks and state.
+    OUT = "out"
+    REG = "reg"
+    # Unary operators.
+    NOT = "not"
+    SLICE = "slice"
+    REDUCE_OR = "reduce_or"
+    # Binary operators.
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    EQ = "eq"
+    LT = "lt"
+    SHL = "shl"
+    SHR = "shr"
+    CONCAT = "concat"
+    # Ternary operator.
+    MUX = "mux"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Fan-in arity per node type.  This table *is* the arity constraint in C.
+ARITY: dict[NodeType, int] = {
+    NodeType.IN: 0,
+    NodeType.CONST: 0,
+    NodeType.OUT: 1,
+    NodeType.REG: 1,
+    NodeType.NOT: 1,
+    NodeType.SLICE: 1,
+    NodeType.REDUCE_OR: 1,
+    NodeType.ADD: 2,
+    NodeType.SUB: 2,
+    NodeType.MUL: 2,
+    NodeType.AND: 2,
+    NodeType.OR: 2,
+    NodeType.XOR: 2,
+    NodeType.EQ: 2,
+    NodeType.LT: 2,
+    NodeType.SHL: 2,
+    NodeType.SHR: 2,
+    NodeType.CONCAT: 2,
+    NodeType.MUX: 3,
+}
+
+#: Node types that act as sequential elements.  Combinational loops are
+#: defined as cycles containing none of these.
+SEQUENTIAL_TYPES = frozenset({NodeType.REG})
+
+#: Node types that may not have children (graph sinks).
+SINK_TYPES = frozenset({NodeType.OUT})
+
+#: Node types with no parents (graph sources).
+SOURCE_TYPES = frozenset({NodeType.IN, NodeType.CONST})
+
+#: Operators whose result is always a single bit regardless of input width.
+SINGLE_BIT_TYPES = frozenset({NodeType.EQ, NodeType.LT, NodeType.REDUCE_OR})
+
+#: All types that can be freely sampled when synthesising node attribute
+#: vectors for new circuits (everything except IO, which is user specified).
+OPERATOR_TYPES = tuple(
+    t for t in NodeType if t not in (NodeType.IN, NodeType.OUT)
+)
+
+
+def arity_of(node_type: NodeType) -> int:
+    """Return the number of parents required by ``node_type``."""
+    return ARITY[node_type]
+
+
+def is_sequential(node_type: NodeType) -> bool:
+    """True if the node type is a state element (breaks timing paths)."""
+    return node_type in SEQUENTIAL_TYPES
+
+
+def type_index(node_type: NodeType) -> int:
+    """Stable integer index of a node type, for one-hot feature encodings."""
+    return _TYPE_ORDER[node_type]
+
+
+def type_from_index(index: int) -> NodeType:
+    """Inverse of :func:`type_index`."""
+    return _TYPES_BY_INDEX[index]
+
+
+_TYPES_BY_INDEX = tuple(NodeType)
+_TYPE_ORDER = {t: i for i, t in enumerate(_TYPES_BY_INDEX)}
+
+#: Number of distinct node types (one-hot feature dimension).
+NUM_TYPES = len(_TYPES_BY_INDEX)

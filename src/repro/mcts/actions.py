@@ -1,0 +1,103 @@
+"""Atomic swap action on the adjacency matrix (paper Section VI-B).
+
+For a state with edges ``A(i, j) = 1`` and ``A(p, q) = 1``, the successor
+swaps the two children's parents: ``A(p, j) = 1`` and ``A(i, q) = 1``.
+The operation preserves every node's in-degree and out-degree and keeps
+the edge count constant, which is why the paper chose it: the search
+never leaves the constraint-arity manifold, only combinational-loop
+freedom must be rechecked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir import CircuitGraph, find_combinational_cycles
+
+
+@dataclass(frozen=True)
+class Swap:
+    """Replace edges (i -> j), (p -> q) with (p -> j), (i -> q)."""
+
+    i: int
+    j: int
+    p: int
+    q: int
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"({self.i}->{self.j}, {self.p}->{self.q})"
+
+
+def is_applicable(graph: CircuitGraph, swap: Swap) -> bool:
+    """Cheap structural screens before the loop check."""
+    i, j, p, q = swap.i, swap.j, swap.p, swap.q
+    if i == p or j == q:
+        return False  # degenerate: swap would be a no-op
+    parents_j = graph.filled_parents(j)
+    parents_q = graph.filled_parents(q)
+    if i not in parents_j or p not in parents_q:
+        return False
+    if p in parents_j or i in parents_q:
+        return False  # would create a duplicate parent
+    return True
+
+
+def apply_swap(graph: CircuitGraph, swap: Swap) -> CircuitGraph | None:
+    """Return the successor state, or ``None`` if the swap violates C."""
+    if not is_applicable(graph, swap):
+        return None
+    out = graph.copy()
+    slot_j = graph.parents(swap.j).index(swap.i)
+    slot_q = graph.parents(swap.q).index(swap.p)
+    out.set_parent(swap.j, slot_j, swap.p)
+    out.set_parent(swap.q, slot_q, swap.i)
+    if find_combinational_cycles(out, limit=1):
+        return None
+    return out
+
+
+def sample_swaps(
+    graph: CircuitGraph,
+    cone_nodes: list[int],
+    rng: np.random.Generator,
+    max_swaps: int,
+    max_attempts: int | None = None,
+) -> list[Swap]:
+    """Draw distinct applicable swaps anchored in a cone.
+
+    The first swapped edge must touch the cone (its parent or child lies
+    in ``cone_nodes``: the register plus the cone interior); the second
+    edge is drawn from the whole design.  This keeps the search local to
+    the cone being optimized, as in the paper's cone-by-cone procedure,
+    while still allowing rewires that route the register's fanout into
+    observed logic -- the degree-preserving swap can never grow a node's
+    fanout, only redirect it.
+    """
+    cone_set = set(cone_nodes)
+    all_edges = []
+    local_edges = []
+    for child in range(graph.num_nodes):
+        for parent in graph.filled_parents(child):
+            edge = (parent, child)
+            all_edges.append(edge)
+            if parent in cone_set or child in cone_set:
+                local_edges.append(edge)
+    if not local_edges or len(all_edges) < 2:
+        return []
+    max_attempts = max_attempts or max_swaps * 12
+    found: list[Swap] = []
+    seen: set[Swap] = set()
+    for _ in range(max_attempts):
+        if len(found) >= max_swaps:
+            break
+        i, j = local_edges[rng.integers(0, len(local_edges))]
+        p, q = all_edges[rng.integers(0, len(all_edges))]
+        swap = Swap(i, j, p, q)
+        if swap in seen:
+            continue
+        seen.add(swap)
+        if is_applicable(graph, swap):
+            found.append(swap)
+    return found

@@ -1,0 +1,115 @@
+"""Learned PCS discriminator: the paper's fast reward approximation.
+
+"To accelerate the evaluation process, we replaced the slow synthesis
+tool with a trained discriminator to approximate the PCS."  The
+discriminator is an MLP regressor over :func:`~repro.mcts.reward.graph_features`
+trained on synthesis-labelled design states sampled from random swap
+trajectories starting at the designs to be optimized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import CircuitGraph
+from ..nn import MLP, Adam, Tensor, mse
+from .actions import apply_swap, sample_swaps
+from .cones import Cone, all_cones
+from .reward import GRAPH_FEATURE_DIM, SynthesisReward, graph_features
+
+
+class PCSDiscriminator:
+    """MLP regressor: global design features -> predicted PCS."""
+
+    def __init__(self, hidden: int = 32, seed: int = 0):
+        rng = np.random.default_rng(seed)
+        self.net = MLP([GRAPH_FEATURE_DIM, hidden, hidden, 1], rng)
+        self._mean = np.zeros(GRAPH_FEATURE_DIM)
+        self._std = np.ones(GRAPH_FEATURE_DIM)
+        self.trained = False
+
+    # -- training ---------------------------------------------------------
+    def fit(self, features: np.ndarray, targets: np.ndarray,
+            epochs: int = 300, lr: float = 5e-3) -> list[float]:
+        if len(features) != len(targets) or len(features) == 0:
+            raise ValueError("need matching, non-empty features and targets")
+        self._mean = features.mean(axis=0)
+        self._std = np.maximum(features.std(axis=0), 1e-6)
+        x = (features - self._mean) / self._std
+        y = np.asarray(targets, dtype=np.float64)
+        opt = Adam(self.net.parameters(), lr=lr)
+        losses = []
+        for _ in range(epochs):
+            opt.zero_grad()
+            pred = self.net(Tensor(x)).reshape(len(y))
+            loss = mse(pred, y)
+            loss.backward()
+            opt.step()
+            losses.append(loss.item())
+        self.trained = True
+        return losses
+
+    # -- inference --------------------------------------------------------
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        x = (np.atleast_2d(features) - self._mean) / self._std
+        out = x
+        for layer in self.net.layers[:-1]:
+            out = np.maximum(out @ layer.weight.data + layer.bias.data, 0.0)
+        last = self.net.layers[-1]
+        return (out @ last.weight.data + last.bias.data)[:, 0]
+
+    def __call__(self, graph: CircuitGraph, cone: Cone | None = None) -> float:
+        return float(self.predict(graph_features(graph))[0])
+
+
+def collect_training_set(
+    graphs: list[CircuitGraph],
+    clock_period: float = 2.0,
+    perturbations: int = 16,
+    seed: int = 0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Synthesis-labelled (features, pcs) pairs from designs and random
+    swap perturbations along the trajectories MCTS will explore."""
+    rng = np.random.default_rng(seed)
+    oracle = SynthesisReward(clock_period)
+    feats: list[np.ndarray] = []
+    targets: list[float] = []
+    for graph in graphs:
+        feats.append(graph_features(graph))
+        targets.append(oracle(graph))
+        cones = [c for c in all_cones(graph) if c.interior]
+        if not cones:
+            continue
+        state = graph
+        for k in range(perturbations):
+            cone = cones[k % len(cones)]
+            swaps = sample_swaps(
+                state, [cone.register, *cone.interior], rng, 1
+            )
+            if not swaps:
+                continue
+            nxt = apply_swap(state, swaps[0])
+            if nxt is None:
+                continue
+            state = nxt
+            feats.append(graph_features(state))
+            targets.append(oracle(state))
+    if not feats:
+        raise ValueError("no designs provided")
+    return np.array(feats), np.array(targets)
+
+
+def train_discriminator(
+    graphs: list[CircuitGraph],
+    clock_period: float = 2.0,
+    perturbations: int = 16,
+    epochs: int = 300,
+    seed: int = 0,
+) -> PCSDiscriminator:
+    """Convenience: collect a labelled set and fit the discriminator."""
+    features, targets = collect_training_set(
+        graphs, clock_period, perturbations, seed
+    )
+    disc = PCSDiscriminator(seed=seed)
+    disc.fit(features, targets, epochs=epochs)
+    return disc

@@ -1,0 +1,187 @@
+"""Phase 3 driver: cone-by-cone redundancy optimization.
+
+``optimize_registers`` runs the MCTS search over every register's driving
+cone (largest first) and stitches the improved cone states back into the
+design.  ``random_search_registers`` is the paper's ablation: the same
+simulation budget spent on random valid swaps, keeping the best state
+seen.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ir import CircuitGraph
+from .actions import apply_swap, sample_swaps
+from .cones import all_cones, driving_cone
+from .reward import SynthesisReward
+from .tree import ConeSearchResult, MCTSOptimizer, RewardFn
+
+
+@dataclass
+class MCTSConfig:
+    """Search budget; paper defaults are 500 simulations, depth 10.
+
+    ``verify_with_synthesis`` guards acceptance when the search reward is
+    an approximation (the discriminator): a cone's best state is only
+    committed if the *true* post-synthesis PCS improved.
+    """
+
+    num_simulations: int = 500
+    max_depth: int = 10
+    branching: int = 8
+    exploration: float = math.sqrt(2.0)
+    clock_period: float = 2.0
+    verify_with_synthesis: bool = True
+    seed: int = 0
+
+
+@dataclass
+class OptimizationReport:
+    graph: CircuitGraph
+    cone_results: dict[int, ConeSearchResult] = field(default_factory=dict)
+
+    @property
+    def improved_cones(self) -> int:
+        return sum(1 for r in self.cone_results.values() if r.improved)
+
+    @property
+    def total_simulations(self) -> int:
+        return sum(r.simulations for r in self.cone_results.values())
+
+
+def optimize_registers(
+    graph: CircuitGraph,
+    reward_fn: RewardFn | None = None,
+    config: MCTSConfig | None = None,
+    registers: list[int] | None = None,
+    verbose: bool = False,
+) -> OptimizationReport:
+    """MCTS optimization of each register cone; returns G_opt."""
+    config = config or MCTSConfig()
+    reward_fn = reward_fn or SynthesisReward(config.clock_period)
+    current = graph.copy()
+    report = OptimizationReport(graph=current)
+
+    # When the search reward is approximate, acceptance is verified with
+    # the exact synthesis PCS so a misled search can never hurt.
+    need_verify = config.verify_with_synthesis and not isinstance(
+        reward_fn, SynthesisReward
+    )
+    oracle = SynthesisReward(config.clock_period) if need_verify else None
+    current_pcs = oracle(current) if oracle else None
+
+    cones = all_cones(current)
+    if registers is not None:
+        wanted = set(registers)
+        cones = [c for c in cones if c.register in wanted]
+    for cone in cones:
+        if not cone.interior:
+            continue  # nothing to rewire inside a bare feedback register
+        optimizer = MCTSOptimizer(
+            reward_fn,
+            num_simulations=config.num_simulations,
+            max_depth=config.max_depth,
+            branching=config.branching,
+            exploration=config.exploration,
+            seed=config.seed + cone.register,
+        )
+        live_cone = driving_cone(current, cone.register)
+        result = optimizer.optimize_cone(current, live_cone)
+        report.cone_results[cone.register] = result
+        accepted = False
+        if result.improved:
+            if oracle is None:
+                current = result.best_graph
+                accepted = True
+            else:
+                candidate_pcs = oracle(result.best_graph)
+                if candidate_pcs > current_pcs + 1e-12:
+                    current = result.best_graph
+                    current_pcs = candidate_pcs
+                    accepted = True
+        if verbose:
+            print(
+                f"[mcts] reg {cone.register}: pcs {result.initial_reward:.3f}"
+                f" -> {result.best_reward:.3f}"
+                f" ({'accepted' if accepted else 'kept'})"
+            )
+    report.graph = current
+    return report
+
+
+def random_search_registers(
+    graph: CircuitGraph,
+    reward_fn: RewardFn | None = None,
+    config: MCTSConfig | None = None,
+    verbose: bool = False,
+) -> OptimizationReport:
+    """Ablation baseline: random valid swaps with the same budget.
+
+    Mirrors the paper's comparison: "randomly altering edge connections
+    on G_val while still ensuring every step is valid... the same number
+    of simulations ... adopt the optimal solution identified throughout
+    the process."
+    """
+    config = config or MCTSConfig()
+    reward_fn = reward_fn or SynthesisReward(config.clock_period)
+    rng = np.random.default_rng(config.seed)
+    current = graph.copy()
+    report = OptimizationReport(graph=current)
+    need_verify = config.verify_with_synthesis and not isinstance(
+        reward_fn, SynthesisReward
+    )
+    oracle = SynthesisReward(config.clock_period) if need_verify else None
+    current_pcs = oracle(current) if oracle else None
+
+    for cone in all_cones(current):
+        if not cone.interior:
+            continue
+        children_set = [cone.register, *cone.interior]
+        live = driving_cone(current, cone.register)
+        initial = reward_fn(current, live)
+        best_graph, best_reward = current, initial
+        state = current
+        steps = 0
+        rewards_seen = [initial]
+        while steps < config.num_simulations:
+            swaps = sample_swaps(state, children_set, rng, 1)
+            if not swaps:
+                break
+            nxt = apply_swap(state, swaps[0])
+            steps += 1
+            if nxt is None:
+                continue
+            state = nxt
+            r = reward_fn(state, cone)
+            rewards_seen.append(r)
+            if r > best_reward:
+                best_reward, best_graph = r, state
+            # Periodic restart mirrors the MCTS depth limit.
+            if steps % config.max_depth == 0:
+                state = best_graph
+        report.cone_results[cone.register] = ConeSearchResult(
+            best_graph=best_graph,
+            best_reward=best_reward,
+            initial_reward=initial,
+            simulations=steps,
+            rewards_seen=rewards_seen,
+        )
+        if best_reward > initial + 1e-12:
+            if oracle is None:
+                current = best_graph
+            else:
+                candidate_pcs = oracle(best_graph)
+                if candidate_pcs > current_pcs + 1e-12:
+                    current = best_graph
+                    current_pcs = candidate_pcs
+        if verbose:
+            print(
+                f"[random] reg {cone.register}: pcs {initial:.3f}"
+                f" -> {best_reward:.3f}"
+            )
+    report.graph = current
+    return report

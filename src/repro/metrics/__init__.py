@@ -1,0 +1,56 @@
+"""Evaluation metrics: structural similarity, redundancy, timing, ML."""
+
+from .homophily import (
+    class_homophily,
+    class_homophily_two_hop,
+    two_hop_adjacency,
+)
+from .orbits import (
+    clustering_coefficients,
+    orbit_counts,
+    triangle_count,
+    undirected_simple,
+)
+from .regression import (
+    RegressionScores,
+    mape,
+    pearson_r,
+    rrse,
+    score_regression,
+)
+from .structural import (
+    StructuralReport,
+    out_degree_sequence,
+    ratio_statistic,
+    structural_similarity,
+    w1_clustering,
+    w1_distance,
+    w1_orbit,
+    w1_out_degree,
+)
+from .timing_stats import TimingDistribution, collect_timing_distribution
+
+__all__ = [
+    "RegressionScores",
+    "StructuralReport",
+    "TimingDistribution",
+    "class_homophily",
+    "class_homophily_two_hop",
+    "clustering_coefficients",
+    "collect_timing_distribution",
+    "mape",
+    "orbit_counts",
+    "out_degree_sequence",
+    "pearson_r",
+    "ratio_statistic",
+    "rrse",
+    "score_regression",
+    "structural_similarity",
+    "triangle_count",
+    "two_hop_adjacency",
+    "undirected_simple",
+    "w1_clustering",
+    "w1_distance",
+    "w1_orbit",
+    "w1_out_degree",
+]

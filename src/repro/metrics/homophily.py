@@ -1,0 +1,56 @@
+"""Class-structure correlation statistic h^(A, X) from Lim et al. 2021.
+
+The paper's Table II reports ``h^(A, Y)`` and the two-hop variant
+``h^(A^2, Y)``, measuring how strongly node classes (here: node types)
+correlate with graph structure.  Following "Large Scale Learning on
+Non-Homophilous Graphs":
+
+    h^ = 1/(C-1) * sum_k max(0, h_k - |C_k| / n)
+
+where ``h_k`` is the fraction of edges incident to class-k nodes whose
+other endpoint is also class k.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .orbits import undirected_simple
+
+
+def class_homophily(adjacency: np.ndarray, labels: np.ndarray) -> float:
+    """h^(A, X) on the undirected simple version of ``adjacency``."""
+    u = undirected_simple(adjacency)
+    labels = np.asarray(labels)
+    n = len(labels)
+    if u.shape != (n, n):
+        raise ValueError("label length must match adjacency size")
+    classes = np.unique(labels)
+    if len(classes) < 2:
+        return 0.0
+    src, dst = np.nonzero(u)
+    if len(src) == 0:
+        return 0.0
+    score = 0.0
+    for k in classes:
+        mask = labels[src] == k
+        degree_k = mask.sum()
+        if degree_k == 0:
+            continue
+        same = (labels[dst[mask]] == k).sum()
+        h_k = same / degree_k
+        score += max(0.0, h_k - (labels == k).sum() / n)
+    return score / (len(classes) - 1)
+
+
+def two_hop_adjacency(adjacency: np.ndarray) -> np.ndarray:
+    """Binarised A^2 on the undirected graph, without self-loops."""
+    u = undirected_simple(adjacency).astype(np.int64)
+    two = (u @ u) > 0
+    np.fill_diagonal(two, False)
+    return two
+
+
+def class_homophily_two_hop(adjacency: np.ndarray, labels: np.ndarray) -> float:
+    """h^(A^2, X): the same statistic on the two-hop graph."""
+    return class_homophily(two_hop_adjacency(adjacency), labels)

@@ -1,0 +1,70 @@
+"""Model-quality metrics for the downstream PPA prediction task.
+
+Table III reports the correlation coefficient R (closer to 1 is better),
+Mean Absolute Percentage Error (MAPE) and Root Relative Squared Error
+(RRSE), matching MasterRTL / RTL-Timer evaluation practice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+def pearson_r(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Pearson correlation; NaN when either side is constant (the paper
+    reports NA in that case)."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if len(y_true) < 2:
+        return float("nan")
+    st, sp = y_true.std(), y_pred.std()
+    if st < 1e-12 or sp < 1e-12:
+        return float("nan")
+    return float(np.corrcoef(y_true, y_pred)[0, 1])
+
+
+def mape(y_true: np.ndarray, y_pred: np.ndarray,
+         floor: float | None = None) -> float:
+    """Mean absolute percentage error with a scale-relative floor.
+
+    Labels that are exactly zero (e.g. TNS of designs meeting timing)
+    would make the percentage error unbounded; the denominator is
+    floored at 5% of the mean absolute label unless an explicit
+    ``floor`` is given.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    if floor is None:
+        floor = max(1e-9, 0.05 * float(np.mean(np.abs(y_true))))
+    denom = np.maximum(np.abs(y_true), floor)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def rrse(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Root relative squared error: RMSE normalised by predicting the mean."""
+    y_true = np.asarray(y_true, dtype=np.float64)
+    y_pred = np.asarray(y_pred, dtype=np.float64)
+    var = np.sum((y_true - y_true.mean()) ** 2)
+    if var < 1e-18:
+        return float("nan")
+    return float(np.sqrt(np.sum((y_true - y_pred) ** 2) / var))
+
+
+@dataclass
+class RegressionScores:
+    r: float
+    mape: float
+    rrse: float
+
+    def as_row(self) -> dict[str, float]:
+        return {"R": self.r, "MAPE": self.mape, "RRSE": self.rrse}
+
+
+def score_regression(y_true: np.ndarray, y_pred: np.ndarray) -> RegressionScores:
+    return RegressionScores(
+        r=pearson_r(y_true, y_pred),
+        mape=mape(y_true, y_pred),
+        rrse=rrse(y_true, y_pred),
+    )

@@ -1,0 +1,119 @@
+"""Table II metric suite: distributional and scalar structure similarity.
+
+Two families, following GraphRNN / GraphMaker evaluation practice:
+
+* 1-Wasserstein distances between per-node statistic distributions of the
+  real and generated graphs (out-degree, clustering coefficient, orbit
+  counts) -- lower is better;
+* expectation ratios ``E[M(G_hat) / M(G)]`` for scalar statistics
+  (triangle count, h^(A, X), h^(A^2, X)) -- closer to 1 is better.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.stats import wasserstein_distance
+
+from ..ir import CircuitGraph
+from .homophily import class_homophily, class_homophily_two_hop
+from .orbits import clustering_coefficients, orbit_counts, triangle_count
+
+
+def out_degree_sequence(graph: CircuitGraph) -> np.ndarray:
+    a = graph.adjacency()
+    return a.sum(axis=1).astype(np.float64)
+
+
+def w1_distance(real: np.ndarray, generated: np.ndarray) -> float:
+    """1-Wasserstein distance between two samples of a node statistic."""
+    if len(real) == 0 or len(generated) == 0:
+        return float("nan")
+    return float(wasserstein_distance(real, generated))
+
+
+def w1_out_degree(real: CircuitGraph, generated: CircuitGraph) -> float:
+    return w1_distance(out_degree_sequence(real), out_degree_sequence(generated))
+
+
+def w1_clustering(real: CircuitGraph, generated: CircuitGraph) -> float:
+    return w1_distance(
+        clustering_coefficients(real.adjacency()),
+        clustering_coefficients(generated.adjacency()),
+    )
+
+
+def w1_orbit(real: CircuitGraph, generated: CircuitGraph) -> float:
+    """Mean W1 over the six per-node orbit-count distributions."""
+    real_orbits = orbit_counts(real.adjacency())
+    gen_orbits = orbit_counts(generated.adjacency())
+    distances = [
+        w1_distance(real_orbits[:, k], gen_orbits[:, k])
+        for k in range(real_orbits.shape[1])
+    ]
+    return float(np.mean(distances))
+
+
+def ratio_statistic(real_value: float, generated_values: list[float]) -> float:
+    """E[M(G_hat)/M(G)]; guards the zero-denominator case."""
+    if abs(real_value) < 1e-12:
+        return float("nan")
+    return float(np.mean([g / real_value for g in generated_values]))
+
+
+@dataclass
+class StructuralReport:
+    """One Table II cell group: all six metrics for one (model, design)."""
+
+    w1_out_degree: float
+    w1_clustering: float
+    w1_orbit: float
+    ratio_triangle: float
+    ratio_homophily: float
+    ratio_homophily_two_hop: float
+
+    def as_row(self) -> dict[str, float]:
+        return {
+            "out_degree": self.w1_out_degree,
+            "cluster": self.w1_clustering,
+            "orbit": self.w1_orbit,
+            "triangle": self.ratio_triangle,
+            "h(A,Y)": self.ratio_homophily,
+            "h(A2,Y)": self.ratio_homophily_two_hop,
+        }
+
+
+def structural_similarity(
+    real: CircuitGraph, generated: list[CircuitGraph]
+) -> StructuralReport:
+    """Compare a set of generated graphs against one reference design."""
+    if not generated:
+        raise ValueError("need at least one generated graph")
+    real_adj = real.adjacency()
+    real_types = real.type_indices()
+
+    w1_deg = float(np.mean([w1_out_degree(real, g) for g in generated]))
+    w1_clu = float(np.mean([w1_clustering(real, g) for g in generated]))
+    w1_orb = float(np.mean([w1_orbit(real, g) for g in generated]))
+
+    tri_real = triangle_count(real_adj)
+    h_real = class_homophily(real_adj, real_types)
+    h2_real = class_homophily_two_hop(real_adj, real_types)
+
+    tri_gen = [triangle_count(g.adjacency()) for g in generated]
+    h_gen = [
+        class_homophily(g.adjacency(), g.type_indices()) for g in generated
+    ]
+    h2_gen = [
+        class_homophily_two_hop(g.adjacency(), g.type_indices())
+        for g in generated
+    ]
+    return StructuralReport(
+        w1_out_degree=w1_deg,
+        w1_clustering=w1_clu,
+        w1_orbit=w1_orb,
+        ratio_triangle=ratio_statistic(tri_real, tri_gen),
+        ratio_homophily=ratio_statistic(h_real, h_gen),
+        ratio_homophily_two_hop=ratio_statistic(h2_real, h2_gen),
+    )

@@ -1,0 +1,67 @@
+"""Loss functions and stateless helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def bce_with_logits(logits: Tensor, targets: np.ndarray | Tensor,
+                    weights: np.ndarray | None = None) -> Tensor:
+    """Numerically stable binary cross-entropy on raw logits.
+
+    Uses the identity ``bce = max(x, 0) - x*y + log(1 + exp(-|x|))`` realised
+    through the autograd graph as ``softplus`` terms, so gradients are exact.
+    ``weights`` optionally reweights each element (e.g. for class balance).
+    """
+    y = targets.data if isinstance(targets, Tensor) else np.asarray(
+        targets, dtype=np.float64
+    )
+    # log(1 + e^x) == max(x,0) + log(1+e^-|x|); build via sigmoid/log ops.
+    p = logits.sigmoid()
+    one = Tensor(np.ones_like(p.data))
+    eps = 1e-12
+    loss = -(Tensor(y) * (p + eps).log() + (one - Tensor(y)) * (one - p + eps).log())
+    if weights is not None:
+        loss = loss * Tensor(np.asarray(weights, dtype=np.float64))
+        return loss.sum() * (1.0 / max(float(np.sum(weights)), eps))
+    return loss.mean()
+
+
+def mse(pred: Tensor, targets: np.ndarray | Tensor) -> Tensor:
+    y = targets if isinstance(targets, Tensor) else Tensor(targets)
+    diff = pred - y
+    return (diff * diff).mean()
+
+
+def softmax_cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Mean cross-entropy over rows of ``logits`` given integer ``labels``."""
+    labels = np.asarray(labels, dtype=np.int64)
+    shifted = logits - Tensor(logits.data.max(axis=-1, keepdims=True))
+    log_z = shifted.exp().sum(axis=-1, keepdims=True).log()
+    log_probs = shifted - log_z
+    onehot = np.zeros_like(logits.data)
+    onehot[np.arange(len(labels)), labels] = 1.0
+    return -(log_probs * Tensor(onehot)).sum() * (1.0 / len(labels))
+
+
+def sigmoid_np(x: np.ndarray) -> np.ndarray:
+    """Plain numpy sigmoid for inference-only fast paths."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -60.0, 60.0)))
+
+
+def time_features(t: np.ndarray | float, dim: int) -> np.ndarray:
+    """Sinusoidal features of a (possibly fractional) timestep.
+
+    Matches the common diffusion-model positional embedding; the result is
+    fed to small MLPs to obtain the paper's learnable ``d(t)`` and ``r(t)``.
+    """
+    t = np.atleast_1d(np.asarray(t, dtype=np.float64))
+    half = dim // 2
+    freqs = np.exp(-np.log(1000.0) * np.arange(half) / max(half - 1, 1))
+    angles = t[:, None] * freqs[None, :] * 2.0 * np.pi
+    feats = np.concatenate([np.sin(angles), np.cos(angles)], axis=-1)
+    if feats.shape[-1] < dim:  # odd dim: pad one zero column
+        feats = np.pad(feats, ((0, 0), (0, dim - feats.shape[-1])))
+    return feats

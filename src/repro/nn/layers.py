@@ -1,0 +1,142 @@
+"""Neural network layers on top of the autograd engine.
+
+A lightweight ``Module`` system mirrors the familiar PyTorch structure:
+modules own parameters and sub-modules, ``parameters()`` walks the tree,
+and layers are callables over :class:`~repro.nn.tensor.Tensor`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import Tensor, parameter
+
+
+class Module:
+    """Base class; sub-modules and parameters are discovered by attribute."""
+
+    def parameters(self) -> list[Tensor]:
+        params: list[Tensor] = []
+        seen: set[int] = set()
+        for value in self.__dict__.values():
+            for p in _collect(value):
+                if id(p) not in seen:
+                    seen.add(id(p))
+                    params.append(p)
+        return params
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        return {str(i): p.data.copy() for i, p in enumerate(self.parameters())}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        params = self.parameters()
+        if len(state) != len(params):
+            raise ValueError(
+                f"state has {len(state)} arrays, model has {len(params)}"
+            )
+        for i, p in enumerate(params):
+            src = state[str(i)]
+            if src.shape != p.data.shape:
+                raise ValueError(f"shape mismatch for parameter {i}")
+            p.data[...] = src
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)
+
+    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+def _collect(value) -> list[Tensor]:
+    if isinstance(value, Tensor):
+        return [value] if value.requires_grad else []
+    if isinstance(value, Module):
+        return value.parameters()
+    if isinstance(value, (list, tuple)):
+        out: list[Tensor] = []
+        for item in value:
+            out.extend(_collect(item))
+        return out
+    return []
+
+
+class Linear(Module):
+    """Affine map ``x @ W + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        self.weight = parameter((in_features, out_features), rng)
+        self.bias = parameter((out_features,), rng) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class Embedding(Module):
+    """Index -> dense vector lookup table."""
+
+    def __init__(self, num_embeddings: int, dim: int, rng: np.random.Generator):
+        self.weight = parameter((num_embeddings, dim), rng, scale=0.1)
+
+    def forward(self, index: np.ndarray) -> Tensor:
+        return self.weight.take_rows(np.asarray(index, dtype=np.int64))
+
+
+_ACTIVATIONS = {
+    "relu": Tensor.relu,
+    "tanh": Tensor.tanh,
+    "sigmoid": Tensor.sigmoid,
+}
+
+
+class MLP(Module):
+    """Multi-layer perceptron: Linear -> activation -> ... -> Linear."""
+
+    def __init__(self, dims: list[int], rng: np.random.Generator,
+                 activation: str = "relu", final_activation: str | None = None):
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output dims")
+        if activation not in _ACTIVATIONS:
+            raise ValueError(f"unknown activation {activation!r}")
+        self.layers = [
+            Linear(dims[i], dims[i + 1], rng) for i in range(len(dims) - 1)
+        ]
+        self.activation = activation
+        self.final_activation = final_activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        act = _ACTIVATIONS[self.activation]
+        for layer in self.layers[:-1]:
+            x = act(layer(x))
+        x = self.layers[-1](x)
+        if self.final_activation:
+            x = _ACTIVATIONS[self.final_activation](x)
+        return x
+
+
+class GRUCell(Module):
+    """Single gated recurrent unit step (used by the GraphRNN baseline)."""
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        self.w_z = Linear(input_dim + hidden_dim, hidden_dim, rng)
+        self.w_r = Linear(input_dim + hidden_dim, hidden_dim, rng)
+        self.w_h = Linear(input_dim + hidden_dim, hidden_dim, rng)
+
+    def forward(self, x: Tensor, h: Tensor) -> Tensor:
+        xh = x.concat(h, axis=-1)
+        z = self.w_z(xh).sigmoid()
+        r = self.w_r(xh).sigmoid()
+        xrh = x.concat(r * h, axis=-1)
+        h_tilde = self.w_h(xrh).tanh()
+        one = Tensor(np.ones_like(z.data))
+        return (one - z) * h + z * h_tilde

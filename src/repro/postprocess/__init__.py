@@ -1,0 +1,5 @@
+"""Phase 2: probability-guided validity refinement."""
+
+from .refine import RefinementError, refine_to_valid
+
+__all__ = ["RefinementError", "refine_to_valid"]

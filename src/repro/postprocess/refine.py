@@ -1,0 +1,147 @@
+"""Phase 2: probability-guided graph post-processing.
+
+``G_ini`` from the diffusion sampler will most likely violate the circuit
+constraints C.  Following the paper (Section V), nodes are processed
+sequentially; a node whose parent set already satisfies C keeps it,
+otherwise candidate parents are tried in descending order of the
+diffusion model's edge probability ``P_E^{(t=0)}``, skipping any edge
+that would close a combinational loop (a path check in the register-free
+subgraph) until the node's exact fan-in arity is reached.
+
+The refiner operates on raw arrays for speed and emits a validated
+:class:`~repro.ir.graph.CircuitGraph` at the end.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import CircuitGraph, NodeType, arity_of, is_sequential, type_from_index
+
+
+class RefinementError(RuntimeError):
+    """Raised when no constraint-satisfying parent assignment exists."""
+
+
+def refine_to_valid(
+    types: np.ndarray,
+    widths: np.ndarray,
+    adjacency: np.ndarray,
+    edge_probability: np.ndarray,
+    name: str = "synthetic",
+    rng: np.random.Generator | None = None,
+    degree_guidance: float = 0.25,
+) -> CircuitGraph:
+    """Produce a valid circuit graph ``G_val`` from Phase 1 outputs.
+
+    ``degree_guidance`` implements the paper's out-degree guidance: when
+    ranking fallback candidates, drivers that do not yet fan out anywhere
+    get a multiplicative score bonus ``(1 + degree_guidance)``.  This
+    spreads fanout across the design (registers actually drive logic,
+    outputs observe non-constant cones) and pushes the generated
+    out-degree distribution towards the scale-free shape of real RTL.
+    """
+    rng = rng or np.random.default_rng(0)
+    node_types = [type_from_index(int(t)) for t in types]
+    n = len(node_types)
+    if adjacency.shape != (n, n) or edge_probability.shape != (n, n):
+        raise ValueError("adjacency/probability shape mismatch with attributes")
+
+    seq = np.array([is_sequential(t) for t in node_types])
+    can_drive = np.array([t is not NodeType.OUT for t in node_types])
+    arity = np.array([arity_of(t) for t in node_types])
+
+    children: list[set[int]] = [set() for _ in range(n)]
+    parents: list[list[int]] = [[] for _ in range(n)]
+
+    def creates_comb_loop(parent: int, child: int) -> bool:
+        """Would parent->child close a register-free cycle (paper's check)?"""
+        if seq[parent] or seq[child]:
+            return False
+        if parent == child:
+            return True
+        frontier = [child]
+        seen = {child}
+        while frontier:
+            v = frontier.pop()
+            for w in children[v]:
+                if seq[w] or w in seen:
+                    continue
+                if w == parent:
+                    return True
+                seen.add(w)
+                frontier.append(w)
+        return False
+
+    out_degree = np.zeros(n, dtype=np.int64)
+    order = np.arange(n)
+    for i in order:
+        need = int(arity[i])
+        if need == 0:
+            continue
+        proposed = np.flatnonzero(adjacency[:, i])
+        # Rank proposed parents by probability, then remaining candidates.
+        proposed = proposed[np.argsort(-edge_probability[proposed, i])]
+        chosen: list[int] = []
+        for j in proposed:
+            if len(chosen) == need:
+                break
+            if not can_drive[j] or creates_comb_loop(int(j), int(i)):
+                continue
+            chosen.append(int(j))
+            children[j].add(int(i))
+            out_degree[j] += 1
+        if len(chosen) < need:
+            score = edge_probability[:, i] * (
+                1.0 + degree_guidance * (out_degree == 0)
+            )
+            ranked = np.argsort(-score)
+            for j in ranked:
+                if len(chosen) == need:
+                    break
+                j = int(j)
+                if j in chosen or not can_drive[j]:
+                    continue
+                if creates_comb_loop(j, i):
+                    continue
+                chosen.append(j)
+                children[j].add(i)
+                out_degree[j] += 1
+        if len(chosen) < need:
+            raise RefinementError(
+                f"node {i} ({node_types[i]}) cannot reach arity {need}: "
+                "every remaining candidate would create a combinational loop"
+            )
+        parents[i] = chosen
+
+    return _build_graph(node_types, widths, parents, name, rng)
+
+
+def _build_graph(
+    node_types: list[NodeType],
+    widths: np.ndarray,
+    parents: list[list[int]],
+    name: str,
+    rng: np.random.Generator,
+) -> CircuitGraph:
+    """Materialise the refined edge lists as a CircuitGraph.
+
+    Type-specific params that the attribute vector X does not carry
+    (constant values, slice offsets) are synthesised deterministically
+    from the rng so the HDL emission is well defined.
+    """
+    g = CircuitGraph(name)
+    for i, (t, w) in enumerate(zip(node_types, widths)):
+        params: dict = {}
+        if t is NodeType.CONST:
+            params["value"] = int(rng.integers(0, 1 << min(int(w), 30)))
+        elif t is NodeType.SLICE:
+            params["lo"] = 0
+        g.add_node(t, int(w), params=params)
+    for child, plist in enumerate(parents):
+        for slot, parent in enumerate(plist):
+            g.set_parent(child, slot, parent)
+    from ..ir import assert_valid
+
+    assert_valid(g)
+    return g

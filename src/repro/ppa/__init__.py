@@ -1,0 +1,37 @@
+"""Downstream ML task: RTL-stage PPA prediction with data augmentation."""
+
+from .features import (
+    DESIGN_FEATURE_DIM,
+    REGISTER_FEATURE_DIM,
+    design_features,
+    estimated_logic_depth,
+    register_features,
+)
+from .labels import (
+    DesignSample,
+    design_samples,
+    register_samples,
+    stack_design_samples,
+)
+from .models import GradientBoostedTrees, RandomForest, RegressionTree, Ridge
+from .task import TASKS, AugmentationRow, evaluate_augmentation, format_table
+
+__all__ = [
+    "AugmentationRow",
+    "DESIGN_FEATURE_DIM",
+    "DesignSample",
+    "GradientBoostedTrees",
+    "REGISTER_FEATURE_DIM",
+    "RandomForest",
+    "RegressionTree",
+    "Ridge",
+    "TASKS",
+    "design_features",
+    "design_samples",
+    "estimated_logic_depth",
+    "evaluate_augmentation",
+    "format_table",
+    "register_features",
+    "register_samples",
+    "stack_design_samples",
+]

@@ -1,0 +1,120 @@
+"""RTL-stage feature extraction for PPA prediction.
+
+Design-level features follow the MasterRTL recipe (bit-level "simple
+operator graph" statistics: operator mix, bit widths, depth, fanout);
+register-level features follow RTL-Timer (per-register driving-cone
+statistics).  The synthesis target clock period is appended as a feature
+so one model covers the Pareto-frontier label set.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import CircuitGraph, NUM_TYPES, NodeType, type_index
+from ..mcts.cones import driving_cone
+from ..mcts.reward import cone_features
+
+#: Rough per-bit gate cost of each operator, used for the depth/area proxies.
+_OP_COST = {
+    NodeType.ADD: 5.0, NodeType.SUB: 6.0, NodeType.MUL: 20.0,
+    NodeType.AND: 1.0, NodeType.OR: 1.0, NodeType.XOR: 1.5,
+    NodeType.NOT: 0.5, NodeType.EQ: 2.0, NodeType.LT: 3.0,
+    NodeType.SHL: 4.0, NodeType.SHR: 4.0, NodeType.MUX: 2.0,
+    NodeType.SLICE: 0.0, NodeType.CONCAT: 0.0, NodeType.REDUCE_OR: 1.0,
+    NodeType.REG: 4.0, NodeType.IN: 0.0, NodeType.OUT: 0.0,
+    NodeType.CONST: 0.0,
+}
+
+
+def estimated_logic_depth(graph: CircuitGraph) -> float:
+    """Longest cost-weighted combinational path (timing proxy).
+
+    Registers and inputs are path sources; operator nodes add their
+    per-bit cost.  Computed on the acyclic combinational subgraph.
+    """
+    depth: dict[int, float] = {}
+    sources = (NodeType.IN, NodeType.CONST, NodeType.REG)
+
+    order: list[int] = []
+    indeg: dict[int, int] = {}
+    comb = [n.id for n in graph.nodes() if n.type not in sources]
+    comb_set = set(comb)
+    children: dict[int, list[int]] = {v: [] for v in comb}
+    for v in comb:
+        count = 0
+        for p in graph.filled_parents(v):
+            if p in comb_set:
+                children[p].append(v)
+                count += 1
+        indeg[v] = count
+    frontier = [v for v in comb if indeg[v] == 0]
+    while frontier:
+        v = frontier.pop()
+        order.append(v)
+        for c in children[v]:
+            indeg[c] -= 1
+            if indeg[c] == 0:
+                frontier.append(c)
+
+    best = 0.0
+    for v in order:
+        node = graph.node(v)
+        parent_depth = max(
+            (depth.get(p, 0.0) for p in graph.filled_parents(v)), default=0.0
+        )
+        depth[v] = parent_depth + _OP_COST.get(node.type, 1.0)
+        best = max(best, depth[v])
+    return best
+
+
+def design_features(graph: CircuitGraph, clock_period: float) -> np.ndarray:
+    """MasterRTL-style design-level feature vector."""
+    n = graph.num_nodes
+    type_counts = np.zeros(NUM_TYPES)
+    bit_costs = 0.0
+    total_bits = 0
+    widths = []
+    for node in graph.nodes():
+        type_counts[type_index(node.type)] += 1
+        bit_costs += _OP_COST.get(node.type, 1.0) * node.width
+        total_bits += node.width
+        widths.append(node.width)
+    a = graph.adjacency()
+    out_deg = a.sum(axis=1)
+    feats = np.concatenate([
+        [n, graph.num_edges, total_bits],
+        [graph.total_register_bits()],
+        [len(graph.inputs()), len(graph.outputs())],
+        [bit_costs],                       # area proxy
+        [estimated_logic_depth(graph)],    # timing proxy
+        [np.mean(widths), np.max(widths)],
+        [out_deg.mean(), out_deg.max()],
+        type_counts,
+        type_counts / max(n, 1),
+        [clock_period],
+    ])
+    return feats
+
+
+#: Dimension of :func:`design_features`.
+DESIGN_FEATURE_DIM = 12 + 2 * NUM_TYPES + 1
+
+
+def register_features(
+    graph: CircuitGraph, register: int, clock_period: float
+) -> np.ndarray:
+    """RTL-Timer-style per-register feature vector (cone statistics)."""
+    cone = driving_cone(graph, register)
+    return np.concatenate([
+        cone_features(graph, cone),
+        [graph.node(register).width],
+        [len(graph.children(register))],
+        [clock_period],
+    ])
+
+
+from ..mcts.reward import CONE_FEATURE_DIM  # noqa: E402
+
+#: Dimension of :func:`register_features`.
+REGISTER_FEATURE_DIM = CONE_FEATURE_DIM + 3

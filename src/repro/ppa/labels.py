@@ -1,0 +1,90 @@
+"""Label generation through the synthesis substrate.
+
+Reproduces the paper's protocol: every design is synthesised across a
+Pareto sweep of target periods / drive strengths ("multiple parameters
+within the Design Compiler were adjusted"), and the (area, WNS, TNS)
+values along the frontier become ground-truth labels.  Register slack
+labels come from the per-register endpoint slacks of the STA.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..ir import CircuitGraph
+from ..synth import pareto_sweep, synthesize
+from .features import design_features, register_features
+
+
+@dataclass
+class DesignSample:
+    """One (design, Pareto point) supervised example."""
+
+    design: str
+    features: np.ndarray
+    area: float
+    wns: float
+    tns: float
+    clock_period: float
+
+
+def design_samples(
+    graphs: list[CircuitGraph],
+    periods: list[float] | None = None,
+) -> list[DesignSample]:
+    """Feature/label rows for the design-level tasks (area, WNS, TNS)."""
+    samples: list[DesignSample] = []
+    for graph in graphs:
+        for result in pareto_sweep(graph, periods=periods):
+            samples.append(
+                DesignSample(
+                    design=graph.name,
+                    features=design_features(graph, result.clock_period),
+                    area=result.area,
+                    wns=result.wns,
+                    tns=result.tns,
+                    clock_period=result.clock_period,
+                )
+            )
+    return samples
+
+
+def register_samples(
+    graphs: list[CircuitGraph],
+    clock_period: float = 1.0,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Feature/label rows for the register-slack task (RTL-Timer style).
+
+    Only registers that survive synthesis have a slack endpoint; swept
+    registers contribute nothing -- which is how synthetic-data
+    redundancy quietly degrades this task, per the paper's Table III
+    discussion.
+    """
+    feats: list[np.ndarray] = []
+    slacks: list[float] = []
+    for graph in graphs:
+        result = synthesize(graph, clock_period=clock_period, check=False)
+        for reg, slack in result.register_slacks.items():
+            feats.append(register_features(graph, reg, clock_period))
+            slacks.append(slack)
+    if not feats:
+        return np.zeros((0, 1)), np.zeros(0)
+    return np.array(feats), np.array(slacks)
+
+
+def stack_design_samples(
+    samples: list[DesignSample],
+) -> tuple[np.ndarray, dict[str, np.ndarray]]:
+    """(X, {"area": y, "wns": y, "tns": y}) matrices from sample rows."""
+    if not samples:
+        return np.zeros((0, 1)), {
+            "area": np.zeros(0), "wns": np.zeros(0), "tns": np.zeros(0)
+        }
+    x = np.array([s.features for s in samples])
+    return x, {
+        "area": np.array([s.area for s in samples]),
+        "wns": np.array([s.wns for s in samples]),
+        "tns": np.array([s.tns for s in samples]),
+    }

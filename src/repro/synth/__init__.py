@@ -1,0 +1,28 @@
+"""Logic synthesis substrate: the Design Compiler substitute."""
+
+from .elaborate import elaborate
+from .emit import emit_netlist_verilog, qor_report
+from .flow import SynthResult, pareto_sweep, synthesize
+from .library import DEFAULT_LIBRARY, Cell, CellLibrary
+from .netlist import Gate, Netlist
+from .passes import OptStats, optimize
+from .timing import TimingReport, analyze_timing, total_area
+
+__all__ = [
+    "DEFAULT_LIBRARY",
+    "Cell",
+    "CellLibrary",
+    "Gate",
+    "Netlist",
+    "OptStats",
+    "SynthResult",
+    "TimingReport",
+    "analyze_timing",
+    "elaborate",
+    "emit_netlist_verilog",
+    "optimize",
+    "qor_report",
+    "pareto_sweep",
+    "synthesize",
+    "total_area",
+]

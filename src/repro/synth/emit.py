@@ -1,0 +1,115 @@
+"""Outputs of the synthesis flow: mapped-netlist Verilog and QoR reports.
+
+``emit_netlist_verilog`` writes the optimized gate-level netlist as
+structural Verilog over the mapped library cells (what a synthesis tool
+hands to place-and-route); ``qor_report`` renders the familiar
+quality-of-results summary.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .flow import SynthResult
+from .library import DEFAULT_LIBRARY, CellLibrary
+from .netlist import Netlist
+
+_IDENT_RE = re.compile(r"[^A-Za-z0-9_]")
+
+
+def _net_name(netlist: Netlist, net: int, port_names: dict[int, str]) -> str:
+    if net == netlist.const0:
+        return "1'b0"
+    if net == netlist.const1:
+        return "1'b1"
+    return port_names.get(net, f"n{net}")
+
+
+def emit_netlist_verilog(
+    netlist: Netlist,
+    module_name: str | None = None,
+    library: CellLibrary = DEFAULT_LIBRARY,
+    strength: int = 1,
+) -> str:
+    """Structural Verilog over library cell instances."""
+    module_name = _IDENT_RE.sub("_", module_name or netlist.name) or "netlist"
+    port_names: dict[int, str] = {}
+    in_ports: list[str] = []
+    for name, net in netlist.primary_inputs:
+        port = _IDENT_RE.sub("_", name)
+        port_names[net] = port
+        in_ports.append(port)
+    out_ports: list[tuple[str, int]] = []
+    for name, net in netlist.primary_outputs:
+        port = _IDENT_RE.sub("_", name)
+        out_ports.append((port, net))
+
+    lines = [
+        f"module {module_name}(clk, "
+        + ", ".join(in_ports + [p for p, _ in out_ports])
+        + ");",
+        "  input clk;",
+    ]
+    lines.extend(f"  input {p};" for p in in_ports)
+    lines.extend(f"  output {p};" for p, _ in out_ports)
+    internal = sorted(
+        {g.output for g in netlist.gates} - set(port_names)
+    )
+    for net in internal:
+        lines.append(f"  wire n{net};")
+
+    pin_orders = {
+        "NOT": ("A",), "AND": ("A1", "A2"), "OR": ("A1", "A2"),
+        "XOR": ("A", "B"), "MUX": ("S", "A", "B"), "DFF": ("D",),
+    }
+    for idx, gate in enumerate(netlist.gates):
+        cell = library.cell(gate.kind, strength)
+        pins = [
+            f".{pin}({_net_name(netlist, net, port_names)})"
+            for pin, net in zip(pin_orders[gate.kind], gate.inputs)
+        ]
+        out_pin = "Q" if gate.kind == "DFF" else "Z"
+        pins.append(f".{out_pin}({_net_name(netlist, gate.output, port_names)})")
+        if gate.kind == "DFF":
+            pins.append(".CK(clk)")
+        lines.append(f"  {cell.name} U{idx} ({', '.join(pins)});")
+
+    for port, net in out_ports:
+        source = _net_name(netlist, net, port_names)
+        if source != port:
+            lines.append(f"  assign {port} = {source};")
+    lines.append("endmodule")
+    return "\n".join(lines) + "\n"
+
+
+def qor_report(result: SynthResult) -> str:
+    """Quality-of-results summary in the familiar synthesis-log shape."""
+    counts = result.netlist.gate_counts()
+    lines = [
+        f"Design: {result.design}",
+        f"Clock period: {result.clock_period:.3f} ns "
+        f"(drive strength X{result.strength})",
+        "",
+        "Cell counts:",
+    ]
+    for kind in sorted(counts):
+        lines.append(f"  {kind:<6s}{counts[kind]:>8d}")
+    lines.extend([
+        f"  {'total':<6s}{result.num_cells:>8d}",
+        "",
+        f"Area:                 {result.area:12.3f} um^2",
+        f"Sequential cells:     {result.num_dffs:8d} "
+        f"(of {result.rtl_register_bits} RTL register bits, "
+        f"SCPR {result.scpr:.3f})",
+        f"Post-synthesis size:  {result.pcs:12.3f} (area / RTL node)",
+        "",
+        f"Worst negative slack: {result.wns:+12.3f} ns",
+        f"Total negative slack: {result.tns:+12.3f} ns "
+        f"({result.nvp} violating endpoints)",
+        f"Critical path delay:  {result.timing.critical_delay:12.3f} ns",
+        "",
+        f"Optimization: {result.opt_stats.gates_before} -> "
+        f"{result.opt_stats.gates_after} gates in "
+        f"{result.opt_stats.rounds} rounds",
+    ])
+    return "\n".join(lines)

@@ -1,0 +1,167 @@
+"""One-call synthesis flow: elaborate -> optimize -> map -> time.
+
+``synthesize`` is the repository's stand-in for the paper's Synopsys
+Design Compiler runs; ``pareto_sweep`` reproduces the label-generation
+protocol ("multiple parameters within the Design Compiler were adjusted,
+and a set of the PPA values along the Pareto frontier were utilized as
+ground truth labels").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import CircuitGraph
+from .elaborate import elaborate
+from .library import DEFAULT_LIBRARY, CellLibrary
+from .netlist import Netlist
+from .passes import OptStats, optimize
+from .timing import TimingReport, analyze_timing, total_area
+
+
+@dataclass
+class SynthResult:
+    """Everything the experiments need from one synthesis run."""
+
+    design: str
+    clock_period: float
+    strength: int
+    netlist: Netlist
+    area: float
+    num_cells: int
+    num_dffs: int
+    timing: TimingReport
+    opt_stats: OptStats
+    rtl_nodes: int
+    rtl_register_bits: int
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def wns(self) -> float:
+        return self.timing.wns
+
+    @property
+    def tns(self) -> float:
+        return self.timing.tns
+
+    @property
+    def nvp(self) -> int:
+        return self.timing.nvp
+
+    @property
+    def register_slacks(self) -> dict[int, float]:
+        return self.timing.register_slacks
+
+    @property
+    def scpr(self) -> float:
+        """Sequential cell preservation ratio (paper, Section VI).
+
+        Sequential cells surviving synthesis divided by the total number
+        of bits in sequential signals of the pre-synthesis design.
+        """
+        if self.rtl_register_bits == 0:
+            return 1.0
+        return self.num_dffs / self.rtl_register_bits
+
+    @property
+    def pcs(self) -> float:
+        """Post-synthesis circuit size (paper, Section VI-B).
+
+        Post-synthesis area divided by the number of pre-synthesis nodes;
+        larger means less logic was optimized away.
+        """
+        if self.rtl_nodes == 0:
+            return 0.0
+        return self.area / self.rtl_nodes
+
+
+def synthesize(
+    graph: CircuitGraph,
+    clock_period: float = 1.0,
+    strength: int = 1,
+    library: CellLibrary = DEFAULT_LIBRARY,
+    run_optimization: bool = True,
+    check: bool = True,
+) -> SynthResult:
+    """Full flow for one design at one (period, drive-strength) point."""
+    raw = elaborate(graph, check=check)
+    if run_optimization:
+        netlist, stats = optimize(raw)
+    else:
+        netlist, stats = raw, OptStats(
+            rounds=0,
+            gates_before=raw.num_gates,
+            gates_after=raw.num_gates,
+            dffs_before=raw.num_dffs,
+            dffs_after=raw.num_dffs,
+        )
+    timing = analyze_timing(netlist, clock_period, library, strength)
+    return SynthResult(
+        design=graph.name,
+        clock_period=clock_period,
+        strength=strength,
+        netlist=netlist,
+        area=total_area(netlist, library, strength),
+        num_cells=netlist.num_gates,
+        num_dffs=netlist.num_dffs,
+        timing=timing,
+        opt_stats=stats,
+        rtl_nodes=graph.num_nodes,
+        rtl_register_bits=graph.total_register_bits(),
+    )
+
+
+def pareto_sweep(
+    graph: CircuitGraph,
+    periods: list[float] | None = None,
+    strengths: tuple[int, ...] = (1, 2, 4),
+    library: CellLibrary = DEFAULT_LIBRARY,
+) -> list[SynthResult]:
+    """PPA points along the area/timing Pareto frontier.
+
+    For each target period, every drive strength is evaluated; the cheapest
+    implementation that meets timing is kept, or the fastest one when none
+    meets timing.  Dominated points (worse area *and* worse WNS) are then
+    filtered out.
+    """
+    base = synthesize(graph, clock_period=1.0, strength=1, library=library)
+    if periods is None:
+        # Derive a sensible sweep from the design's own critical delay.
+        critical = max(base.timing.critical_delay, 0.05)
+        periods = [critical * f for f in (0.6, 0.8, 1.0, 1.2, 1.5)]
+
+    candidates: list[SynthResult] = []
+    for period in periods:
+        best: SynthResult | None = None
+        fastest: SynthResult | None = None
+        for strength in strengths:
+            timing = analyze_timing(base.netlist, period, library, strength)
+            result = SynthResult(
+                design=graph.name,
+                clock_period=period,
+                strength=strength,
+                netlist=base.netlist,
+                area=total_area(base.netlist, library, strength),
+                num_cells=base.num_cells,
+                num_dffs=base.num_dffs,
+                timing=timing,
+                opt_stats=base.opt_stats,
+                rtl_nodes=base.rtl_nodes,
+                rtl_register_bits=base.rtl_register_bits,
+            )
+            if fastest is None or result.wns > fastest.wns:
+                fastest = result
+            if result.wns >= 0 and (best is None or result.area < best.area):
+                best = result
+        candidates.append(best if best is not None else fastest)
+
+    frontier: list[SynthResult] = []
+    for result in candidates:
+        dominated = any(
+            other.area <= result.area and other.wns >= result.wns
+            and (other.area < result.area or other.wns > result.wns)
+            for other in candidates
+        )
+        if not dominated:
+            frontier.append(result)
+    return frontier or candidates

@@ -1,0 +1,75 @@
+"""Standard-cell library modelled on the NanGate 45nm open cell library.
+
+The paper synthesises with Synopsys Design Compiler and NanGate 45nm; this
+library carries the handful of cells our technology mapper targets, with
+area (um^2) and pin-to-pin delay (ns) figures in the same ballpark as the
+NanGate45 typical corner.  Three drive strengths per cell provide the
+area/delay trade-off used to build Pareto-frontier labels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One library cell at one drive strength."""
+
+    name: str
+    area: float          # um^2
+    delay: float         # worst pin-to-output delay, ns
+    setup: float = 0.0   # ns; only meaningful for sequential cells
+    clk_to_q: float = 0.0
+
+
+#: Base (X1) cells keyed by netlist gate kind; values approximate NanGate
+#: 45nm typical numbers.
+_BASE_CELLS = {
+    "NOT": Cell("INV_X1", area=0.532, delay=0.012),
+    "AND": Cell("AND2_X1", area=1.064, delay=0.034),
+    "OR": Cell("OR2_X1", area=1.064, delay=0.036),
+    "XOR": Cell("XOR2_X1", area=1.596, delay=0.052),
+    "MUX": Cell("MUX2_X1", area=1.862, delay=0.055),
+    "DFF": Cell("DFF_X1", area=4.522, delay=0.0, setup=0.040, clk_to_q=0.088),
+}
+
+#: Drive-strength scaling: larger cells are faster but bigger.
+_STRENGTH_FACTORS = {
+    1: (1.00, 1.00),   # (area multiplier, delay multiplier)
+    2: (1.45, 0.78),
+    4: (2.10, 0.62),
+}
+
+
+class CellLibrary:
+    """Lookup of mapped cells by logical gate kind and drive strength."""
+
+    def __init__(self, strengths: tuple[int, ...] = (1, 2, 4)):
+        self._cells: dict[tuple[str, int], Cell] = {}
+        for kind, base in _BASE_CELLS.items():
+            for s in strengths:
+                area_f, delay_f = _STRENGTH_FACTORS[s]
+                self._cells[(kind, s)] = Cell(
+                    name=base.name.replace("_X1", f"_X{s}"),
+                    area=base.area * area_f,
+                    delay=base.delay * delay_f,
+                    setup=base.setup,
+                    clk_to_q=base.clk_to_q * delay_f if base.clk_to_q else 0.0,
+                )
+        self.strengths = strengths
+
+    def cell(self, kind: str, strength: int = 1) -> Cell:
+        try:
+            return self._cells[(kind, strength)]
+        except KeyError:
+            raise KeyError(
+                f"no cell for gate kind {kind!r} at strength X{strength}"
+            ) from None
+
+    def kinds(self) -> list[str]:
+        return sorted({k for k, _ in self._cells})
+
+
+#: Default library instance shared by the flow.
+DEFAULT_LIBRARY = CellLibrary()

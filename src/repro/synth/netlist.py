@@ -1,0 +1,128 @@
+"""Bit-level gate netlist: the output of elaboration, input to optimization.
+
+Nets are dense integers.  Every net is driven by exactly one of: a primary
+input, one of the two constant nets, or one gate output.  Gate kinds are
+the logical primitives the technology mapper knows how to map:
+
+``NOT a`` / ``AND a b`` / ``OR a b`` / ``XOR a b`` / ``MUX s a b`` /
+``DFF d`` (posedge clk, implicit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+GATE_KINDS = ("NOT", "AND", "OR", "XOR", "MUX", "DFF")
+_ARITY = {"NOT": 1, "AND": 2, "OR": 2, "XOR": 2, "MUX": 3, "DFF": 1}
+
+
+@dataclass
+class Gate:
+    kind: str
+    inputs: tuple[int, ...]
+    output: int
+
+    def __post_init__(self) -> None:
+        if self.kind not in _ARITY:
+            raise ValueError(f"unknown gate kind {self.kind!r}")
+        if len(self.inputs) != _ARITY[self.kind]:
+            raise ValueError(
+                f"{self.kind} expects {_ARITY[self.kind]} inputs, "
+                f"got {len(self.inputs)}"
+            )
+
+
+@dataclass
+class Netlist:
+    """Gate-level netlist with named ports.
+
+    ``dff_origin`` maps a DFF's output net to the word-level register node
+    (rtl node id, bit index) it came from; the SCPR metric and the
+    register-slack labels need this trace through optimization.
+    """
+
+    name: str = "design"
+    num_nets: int = 0
+    gates: list[Gate] = field(default_factory=list)
+    const0: int = -1
+    const1: int = -1
+    primary_inputs: list[tuple[str, int]] = field(default_factory=list)
+    primary_outputs: list[tuple[str, int]] = field(default_factory=list)
+    dff_origin: dict[int, tuple[int, int]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def new_net(self) -> int:
+        net = self.num_nets
+        self.num_nets += 1
+        return net
+
+    def ensure_consts(self) -> None:
+        if self.const0 < 0:
+            self.const0 = self.new_net()
+        if self.const1 < 0:
+            self.const1 = self.new_net()
+
+    def add_gate(self, kind: str, *inputs: int) -> int:
+        out = self.new_net()
+        self.gates.append(Gate(kind, tuple(inputs), out))
+        return out
+
+    def add_input(self, name: str) -> int:
+        net = self.new_net()
+        self.primary_inputs.append((name, net))
+        return net
+
+    def add_output(self, name: str, net: int) -> None:
+        self.primary_outputs.append((name, net))
+
+    # ------------------------------------------------------------------
+    @property
+    def num_gates(self) -> int:
+        return len(self.gates)
+
+    def dffs(self) -> list[Gate]:
+        return [g for g in self.gates if g.kind == "DFF"]
+
+    @property
+    def num_dffs(self) -> int:
+        return sum(1 for g in self.gates if g.kind == "DFF")
+
+    def driver_map(self) -> dict[int, Gate]:
+        drivers: dict[int, Gate] = {}
+        for gate in self.gates:
+            if gate.output in drivers:
+                raise ValueError(f"net {gate.output} has multiple drivers")
+            drivers[gate.output] = gate
+        return drivers
+
+    def gate_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for gate in self.gates:
+            counts[gate.kind] = counts.get(gate.kind, 0) + 1
+        return counts
+
+    def check(self) -> None:
+        """Structural sanity: single drivers, inputs exist, no PI driving."""
+        drivers = self.driver_map()
+        sources = {net for _, net in self.primary_inputs}
+        sources.add(self.const0)
+        sources.add(self.const1)
+        for net in sources:
+            if net in drivers:
+                raise ValueError(f"source net {net} is also gate-driven")
+        known = sources | set(drivers)
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in known:
+                    raise ValueError(
+                        f"gate {gate.kind}->{gate.output} reads undriven net {net}"
+                    )
+        for name, net in self.primary_outputs:
+            if net not in known:
+                raise ValueError(f"output {name} reads undriven net {net}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Netlist({self.name!r}, nets={self.num_nets}, "
+            f"gates={self.num_gates}, dffs={self.num_dffs})"
+        )

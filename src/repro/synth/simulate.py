@@ -1,0 +1,107 @@
+"""Cycle-accurate netlist simulation (verification substrate).
+
+Used by the test suite to check two invariants the synthesis flow must
+uphold: (1) elaboration implements the RTL operator semantics, and
+(2) optimization preserves observable behaviour at the primary outputs.
+Registers start at 0, matching the constant-register sweep assumption in
+:mod:`repro.synth.passes`.
+"""
+
+from __future__ import annotations
+
+from .netlist import Netlist
+
+
+def _comb_order(netlist: Netlist) -> list[int]:
+    """Indices of non-DFF gates in evaluation order."""
+    driver = {g.output: i for i, g in enumerate(netlist.gates)}
+    comb = [i for i, g in enumerate(netlist.gates) if g.kind != "DFF"]
+    pending: dict[int, int] = {}
+    consumers: dict[int, list[int]] = {}
+    for i in comb:
+        gate = netlist.gates[i]
+        count = 0
+        for net in gate.inputs:
+            j = driver.get(net)
+            if j is not None and netlist.gates[j].kind != "DFF":
+                consumers.setdefault(j, []).append(i)
+                count += 1
+        pending[i] = count
+    order: list[int] = []
+    frontier = [i for i in comb if pending[i] == 0]
+    while frontier:
+        i = frontier.pop()
+        order.append(i)
+        for consumer in consumers.get(i, ()):
+            pending[consumer] -= 1
+            if pending[consumer] == 0:
+                frontier.append(consumer)
+    if len(order) != len(comb):
+        raise ValueError("combinational loop in netlist")
+    return order
+
+
+_EVAL = {
+    "NOT": lambda v: not v[0],
+    "AND": lambda v: v[0] and v[1],
+    "OR": lambda v: v[0] or v[1],
+    "XOR": lambda v: v[0] != v[1],
+    "MUX": lambda v: v[1] if v[0] else v[2],
+}
+
+
+def simulate(
+    netlist: Netlist,
+    stimulus: list[dict[int, bool]],
+) -> list[dict[str, bool]]:
+    """Run the netlist for ``len(stimulus)`` clock cycles.
+
+    Each stimulus entry maps primary-input *net ids* to values; missing
+    inputs default to 0.  Returns per-cycle primary-output values keyed by
+    port name (sampled after combinational settling, before the clock
+    edge).
+    """
+    order = _comb_order(netlist)
+    state = {g.output: False for g in netlist.gates if g.kind == "DFF"}
+    results: list[dict[str, bool]] = []
+
+    for cycle_inputs in stimulus:
+        values: dict[int, bool] = {netlist.const0: False, netlist.const1: True}
+        for _, net in netlist.primary_inputs:
+            values[net] = bool(cycle_inputs.get(net, False))
+        values.update(state)
+        for i in order:
+            gate = netlist.gates[i]
+            values[gate.output] = _EVAL[gate.kind](
+                [values[n] for n in gate.inputs]
+            )
+        results.append(
+            {name: values[net] for name, net in netlist.primary_outputs}
+        )
+        state = {
+            g.output: values[g.inputs[0]]
+            for g in netlist.gates
+            if g.kind == "DFF"
+        }
+    return results
+
+
+def pack_word(values: dict[str, bool], prefix: str) -> int:
+    """Assemble an integer from output bits named ``{prefix}[b]``."""
+    word = 0
+    for name, bit in values.items():
+        if name.startswith(prefix + "["):
+            index = int(name[len(prefix) + 1:-1])
+            if bit:
+                word |= 1 << index
+    return word
+
+
+def drive_word(netlist: Netlist, prefix: str, value: int) -> dict[int, bool]:
+    """Stimulus fragment setting input bits named ``{prefix}[b]``."""
+    out: dict[int, bool] = {}
+    for name, net in netlist.primary_inputs:
+        if name.startswith(prefix + "["):
+            index = int(name[len(prefix) + 1:-1])
+            out[net] = bool((value >> index) & 1)
+    return out

@@ -1,0 +1,130 @@
+"""Static timing analysis over a mapped netlist.
+
+Arrival times propagate from timing sources (primary inputs at t=0,
+register outputs at clk-to-q) through the combinational gates in
+topological order.  Endpoints are register D pins (required time =
+period - setup) and primary outputs (required time = period).
+
+Reported quantities follow the paper's label set: per-endpoint slack,
+per-RTL-register slack (minimum over the register's surviving bits),
+worst negative slack (WNS), total negative slack (TNS) and the number of
+violated paths (NVP) used for the TNS/NVP statistic of Figure 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .library import DEFAULT_LIBRARY, CellLibrary
+from .netlist import Netlist
+
+
+@dataclass
+class TimingReport:
+    clock_period: float
+    wns: float
+    tns: float
+    nvp: int
+    endpoint_slacks: list[float] = field(default_factory=list)
+    #: RTL register node id -> worst slack over its surviving bits.
+    register_slacks: dict[int, float] = field(default_factory=dict)
+    critical_delay: float = 0.0
+
+    @property
+    def tns_per_violation(self) -> float:
+        """TNS / NVP, the per-violated-path severity metric of Fig. 5."""
+        return self.tns / self.nvp if self.nvp else 0.0
+
+
+def analyze_timing(
+    netlist: Netlist,
+    clock_period: float,
+    library: CellLibrary = DEFAULT_LIBRARY,
+    strength: int = 1,
+) -> TimingReport:
+    """Compute arrival times and endpoint slacks."""
+    driver = netlist.driver_map()
+    dff_cell = library.cell("DFF", strength)
+
+    arrival: dict[int, float] = {netlist.const0: 0.0, netlist.const1: 0.0}
+    for _, net in netlist.primary_inputs:
+        arrival[net] = 0.0
+    comb_gates = []
+    for gate in netlist.gates:
+        if gate.kind == "DFF":
+            arrival[gate.output] = dff_cell.clk_to_q
+        else:
+            comb_gates.append(gate)
+
+    # Kahn levelization of the combinational gates.
+    consumers: dict[int, list[int]] = {}
+    pending: dict[int, int] = {}
+    for idx, gate in enumerate(comb_gates):
+        count = 0
+        for net in gate.inputs:
+            src = driver.get(net)
+            if src is not None and src.kind != "DFF":
+                consumers.setdefault(net, []).append(idx)
+                count += 1
+        pending[idx] = count
+    frontier = [idx for idx, count in pending.items() if count == 0]
+    processed = 0
+    while frontier:
+        idx = frontier.pop()
+        gate = comb_gates[idx]
+        processed += 1
+        delay = library.cell(gate.kind, strength).delay
+        arrival[gate.output] = (
+            max(arrival[i] for i in gate.inputs) + delay
+            if gate.inputs
+            else delay
+        )
+        for consumer in consumers.get(gate.output, ()):
+            pending[consumer] -= 1
+            if pending[consumer] == 0:
+                frontier.append(consumer)
+    if processed != len(comb_gates):
+        raise ValueError("combinational loop detected during timing analysis")
+
+    endpoint_slacks: list[float] = []
+    register_slacks: dict[int, float] = {}
+    critical = 0.0
+    for gate in netlist.gates:
+        if gate.kind != "DFF":
+            continue
+        at = arrival[gate.inputs[0]]
+        critical = max(critical, at)
+        slack = clock_period - dff_cell.setup - at
+        endpoint_slacks.append(slack)
+        origin = netlist.dff_origin.get(gate.output)
+        if origin is not None:
+            reg_id = origin[0]
+            register_slacks[reg_id] = min(
+                register_slacks.get(reg_id, float("inf")), slack
+            )
+    for _, net in netlist.primary_outputs:
+        at = arrival.get(net, 0.0)
+        critical = max(critical, at)
+        endpoint_slacks.append(clock_period - at)
+
+    negative = [s for s in endpoint_slacks if s < 0]
+    return TimingReport(
+        clock_period=clock_period,
+        wns=min(endpoint_slacks) if endpoint_slacks else 0.0,
+        tns=sum(negative),
+        nvp=len(negative),
+        endpoint_slacks=endpoint_slacks,
+        register_slacks=register_slacks,
+        critical_delay=critical,
+    )
+
+
+def total_area(
+    netlist: Netlist,
+    library: CellLibrary = DEFAULT_LIBRARY,
+    strength: int = 1,
+) -> float:
+    """Sum of mapped cell areas."""
+    return sum(
+        library.cell(gate.kind, strength).area for gate in netlist.gates
+    )

@@ -1,0 +1,192 @@
+"""Tests for the four baseline generators and their shared machinery."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DVAEBaseline,
+    DVAEConfig,
+    GraphMakerV,
+    GraphRNNBaseline,
+    GraphRNNConfig,
+    GravityDirectioner,
+    SparseDigressV,
+    dagify,
+    guaranteed_attributes,
+    topological_order,
+    type_position_prior,
+)
+from repro.bench_designs import load_corpus
+from repro.ir import NodeType, arity_of, type_from_index, type_index, validate
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return load_corpus()[:6]
+
+
+class TestDagify:
+    def test_removes_all_cycles(self, corpus):
+        import networkx as nx
+
+        for g in corpus:
+            a = dagify(g)
+            nx_g = nx.from_numpy_array(a, create_using=nx.DiGraph)
+            assert nx.is_directed_acyclic_graph(nx_g)
+
+    def test_only_removes_edges(self, corpus):
+        for g in corpus:
+            a_orig = g.adjacency()
+            a_dag = dagify(g)
+            assert not (a_dag & ~a_orig).any()
+
+    def test_acyclic_graph_untouched(self):
+        from repro.ir import GraphBuilder
+
+        b = GraphBuilder("dag")
+        x = b.input("x", 1)
+        b.output("y", b.not_(x))
+        g = b.build()
+        np.testing.assert_array_equal(dagify(g), g.adjacency())
+
+
+class TestTopologicalOrder:
+    def test_parents_precede_children(self, corpus):
+        for g in corpus:
+            a = dagify(g)
+            order = topological_order(a)
+            pos = {int(v): i for i, v in enumerate(order)}
+            for src, dst in zip(*np.nonzero(a)):
+                assert pos[int(src)] < pos[int(dst)]
+
+    def test_cyclic_input_rejected(self):
+        a = np.zeros((2, 2), dtype=bool)
+        a[0, 1] = a[1, 0] = True
+        with pytest.raises(ValueError):
+            topological_order(a)
+
+
+class TestAttributeOrdering:
+    def test_position_prior_orders_io(self, corpus):
+        prior = type_position_prior(corpus)
+        assert prior[type_index(NodeType.IN)] < prior[type_index(NodeType.OUT)]
+
+    def test_guaranteed_source_first(self):
+        types = np.array([
+            type_index(NodeType.MUX), type_index(NodeType.IN)
+        ])
+        widths = np.array([4, 4])
+        t2, w2 = guaranteed_attributes(types, widths)
+        assert arity_of(type_from_index(int(t2[0]))) == 0
+
+
+class TestGravity:
+    def test_learns_direction_bias(self, corpus):
+        gravity = GravityDirectioner().fit(corpus)
+        # Edges into OUT nodes exist; edges out of OUT nodes never do, so
+        # OUT must have high mass relative to IN (which only drives).
+        p = gravity.orientation_probability(
+            np.array([type_index(NodeType.IN)]),
+            np.array([type_index(NodeType.OUT)]),
+        )
+        assert p[0] > 0.5
+
+    def test_no_edges_rejected(self):
+        from repro.ir import CircuitGraph
+
+        g = CircuitGraph()
+        g.add_node(NodeType.IN, 1)
+        with pytest.raises(ValueError):
+            GravityDirectioner().fit([g])
+
+
+class TestAutoregressiveBaselines:
+    @pytest.fixture(scope="class")
+    def graphrnn(self):
+        graphs = load_corpus()[:6]
+        return GraphRNNBaseline(
+            GraphRNNConfig(epochs=6, hidden=24, window=16, seed=0)
+        ).fit(graphs)
+
+    @pytest.fixture(scope="class")
+    def dvae(self):
+        graphs = load_corpus()[:6]
+        return DVAEBaseline(
+            DVAEConfig(epochs=6, hidden=24, window=16, seed=0)
+        ).fit(graphs)
+
+    def test_graphrnn_loss_decreases(self, graphrnn):
+        assert graphrnn.losses[-1] < graphrnn.losses[0]
+
+    def test_dvae_loss_decreases(self, dvae):
+        assert dvae.losses[-1] < dvae.losses[0]
+
+    def test_graphrnn_generates_valid_dag(self, graphrnn):
+        import networkx as nx
+
+        rng = np.random.default_rng(0)
+        g = graphrnn.generate(40, rng)
+        assert validate(g).ok
+        nx_g = nx.from_numpy_array(g.adjacency(), create_using=nx.DiGraph)
+        # The paper's point: these baselines can only make DAGs.
+        assert nx.is_directed_acyclic_graph(nx_g)
+
+    def test_dvae_generates_valid_dag(self, dvae):
+        import networkx as nx
+
+        rng = np.random.default_rng(0)
+        g = dvae.generate(40, rng)
+        assert validate(g).ok
+        nx_g = nx.from_numpy_array(g.adjacency(), create_using=nx.DiGraph)
+        assert nx.is_directed_acyclic_graph(nx_g)
+
+    def test_generate_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GraphRNNBaseline().generate(10, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            DVAEBaseline().generate(10, np.random.default_rng(0))
+
+    def test_fit_empty_rejected(self):
+        with pytest.raises(ValueError):
+            GraphRNNBaseline().fit([])
+        with pytest.raises(ValueError):
+            DVAEBaseline().fit([])
+
+
+class TestOneShotBaselines:
+    @pytest.mark.parametrize("cls", [GraphMakerV, SparseDigressV])
+    def test_generates_valid_graphs(self, cls, corpus):
+        model = cls(seed=0).fit(corpus)
+        rng = np.random.default_rng(1)
+        g = model.generate(40, rng)
+        assert validate(g).ok
+        assert g.num_nodes == 40
+
+    def test_one_shot_graphs_can_contain_cycles(self, corpus):
+        """Unlike the autoregressive baselines, direction assignment can
+        produce sequential feedback (cycles through registers)."""
+        import networkx as nx
+
+        model = GraphMakerV(seed=0).fit(corpus)
+        found_cycle = False
+        for seed in range(8):
+            g = model.generate(50, np.random.default_rng(seed))
+            nx_g = nx.from_numpy_array(g.adjacency(), create_using=nx.DiGraph)
+            if not nx.is_directed_acyclic_graph(nx_g):
+                found_cycle = True
+                break
+        assert found_cycle
+
+    def test_sparse_digress_respects_budget_scale(self, corpus):
+        model = SparseDigressV(seed=0).fit(corpus)
+        rng = np.random.default_rng(0)
+        g = model.generate(60, rng)
+        # Edge count should be near the corpus edges-per-node rate (after
+        # validity refinement it can only move moderately).
+        rate = g.num_edges / g.num_nodes
+        assert 0.5 < rate < 4.0
+
+    @pytest.mark.parametrize("cls", [GraphMakerV, SparseDigressV])
+    def test_unfitted_raises(self, cls):
+        with pytest.raises(RuntimeError):
+            cls().generate(10, np.random.default_rng(0))

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_generate_defaults(self):
+        args = build_parser().parse_args(["generate"])
+        assert args.count == 5
+        assert args.nodes == 60
+
+
+class TestCommands:
+    def test_corpus_lists_22(self, capsys):
+        assert main(["corpus"]) == 0
+        out = capsys.readouterr().out
+        assert "uart_tx" in out
+        assert len(out.strip().splitlines()) == 23  # header + 22 designs
+
+    def test_synth_corpus_design(self, capsys):
+        assert main(["synth", "alu", "--period", "2.0"]) == 0
+        out = capsys.readouterr().out
+        assert "SCPR" in out and "WNS" in out
+
+    def test_emit_roundtrip(self, tmp_path, capsys):
+        target = tmp_path / "alu.v"
+        assert main(["emit", "alu", "-o", str(target)]) == 0
+        text = target.read_text()
+        assert text.startswith("module alu(")
+        # Emitted file feeds back into synth.
+        assert main(["synth", str(target)]) == 0
+
+    def test_emit_stdout(self, capsys):
+        assert main(["emit", "gray_counter"]) == 0
+        assert "endmodule" in capsys.readouterr().out
+
+    def test_synth_json_file(self, tmp_path):
+        from repro.bench_designs import load_design
+
+        path = tmp_path / "d.json"
+        path.write_text(load_design("pwm").to_json())
+        assert main(["synth", str(path)]) == 0
+
+    def test_unknown_design_errors(self):
+        with pytest.raises(SystemExit, match="neither"):
+            main(["synth", "not_a_design"])
+
+    def test_generate_writes_bundle(self, tmp_path, capsys):
+        out = tmp_path / "gen"
+        code = main([
+            "generate", "-n", "2", "--nodes", "25",
+            "--epochs", "6", "--simulations", "5",
+            "--no-optimize", "-o", str(out),
+        ])
+        assert code == 0
+        manifest = json.loads((out / "manifest.json").read_text())
+        assert len(manifest) == 2
+        for entry in manifest:
+            assert (out / f"{entry['name']}.v").exists()
+            assert (out / f"{entry['name']}.json").exists()

@@ -1,0 +1,194 @@
+"""Tests for the HDL bijection: codegen, parsing, and roundtripping."""
+
+import pytest
+
+from repro.hdl import HDLSyntaxError, generate_verilog, parse_verilog
+from repro.ir import GraphBuilder, NodeType, validate
+
+
+def _signature(graph):
+    """Canonical structural signature keyed by emitted signal names."""
+    from repro.hdl import signal_name
+
+    # Parser may order nodes differently; match by (type, width, params)
+    # multiset plus the parent structure expressed through name mapping.
+    by_type = sorted(
+        (n.type.value, n.width, tuple(sorted(n.params.items())))
+        for n in graph.nodes()
+    )
+    return by_type
+
+
+def assert_roundtrip(graph):
+    """graph -> verilog -> graph' preserves structure."""
+    text = generate_verilog(graph)
+    parsed = parse_verilog(text)
+    assert validate(parsed).ok
+    assert parsed.num_nodes == graph.num_nodes
+    assert parsed.num_edges == graph.num_edges
+    assert _signature(parsed) == _signature(graph)
+    # Emitting again must be a fixpoint in node/edge counts.
+    text2 = generate_verilog(parsed)
+    parsed2 = parse_verilog(text2)
+    assert parsed2.num_nodes == parsed.num_nodes
+    assert parsed2.num_edges == parsed.num_edges
+
+
+def build_counter():
+    b = GraphBuilder("counter")
+    en = b.input("en", 1)
+    one = b.const(1, 4)
+    count = b.reg("count", 4)
+    nxt = b.mux(en, b.add(count, one, width=4), count)
+    b.drive_reg(count, nxt)
+    b.output("value", count)
+    return b.build()
+
+
+def build_all_ops():
+    b = GraphBuilder("all_ops")
+    a = b.input("a", 8)
+    c = b.input("c", 8)
+    s = b.input("s", 1)
+    r = b.reg("r", 8)
+    results = [
+        b.add(a, c), b.sub(a, c), b.mul(a, c, width=8),
+        b.and_(a, c), b.or_(a, c), b.xor(a, c),
+        b.eq(a, c), b.lt(a, c), b.shl(a, c), b.shr(a, c),
+        b.not_(a), b.reduce_or(a), b.slice_(a, 5, 2),
+        b.concat(a, c), b.mux(s, a, c),
+    ]
+    acc = results[0]
+    for x in results[1:]:
+        acc = b.xor(acc, x, width=8)
+    b.drive_reg(r, acc)
+    b.output("y", r)
+    return b.build()
+
+
+class TestCodegen:
+    def test_module_header(self):
+        text = generate_verilog(build_counter())
+        assert text.startswith("module counter(")
+        assert "input clk;" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_register_in_always_block(self):
+        text = generate_verilog(build_counter())
+        assert "always @(posedge clk) begin" in text
+        assert "<=" in text
+
+    def test_const_emitted_as_sized_literal(self):
+        text = generate_verilog(build_counter())
+        assert "4'd1" in text
+
+    def test_every_op_emits(self):
+        text = generate_verilog(build_all_ops())
+        for op in ["+", "-", "*", "&", "|", "^", "==", "<", "<<", ">>", "~"]:
+            assert op in text
+
+
+class TestParser:
+    def test_simple_module(self):
+        text = """
+        module t(clk, a, y);
+          input clk;
+          input [3:0] a;
+          output [3:0] y;
+          assign y = ~a;
+        endmodule
+        """
+        g = parse_verilog(text)
+        assert len(g.nodes_of_type(NodeType.NOT)) == 1
+        assert g.node(g.outputs()[0]).width == 4
+
+    def test_nested_expression_decomposed(self):
+        text = """
+        module t(clk, a, b, c, y);
+          input clk;
+          input [3:0] a; input [3:0] b; input [3:0] c;
+          output [3:0] y;
+          assign y = (a + b) ^ c;
+        endmodule
+        """
+        g = parse_verilog(text)
+        assert len(g.nodes_of_type(NodeType.ADD)) == 1
+        assert len(g.nodes_of_type(NodeType.XOR)) == 1
+
+    def test_register_feedback(self):
+        text = """
+        module t(clk, y);
+          input clk;
+          output y;
+          reg r;
+          wire nr;
+          assign nr = ~r;
+          always @(posedge clk) begin
+            r <= nr;
+          end
+          assign y = r;
+        endmodule
+        """
+        g = parse_verilog(text)
+        reg = g.nodes_of_type(NodeType.REG)[0]
+        inv = g.nodes_of_type(NodeType.NOT)[0]
+        assert g.filled_parents(reg) == [inv]
+        assert g.filled_parents(inv) == [reg]
+
+    def test_sized_literals(self):
+        text = """
+        module t(clk, y);
+          input clk;
+          output [7:0] y;
+          wire [7:0] k;
+          assign k = 8'hA5;
+          assign y = k;
+        endmodule
+        """
+        g = parse_verilog(text)
+        const = g.node(g.nodes_of_type(NodeType.CONST)[0])
+        assert const.params["value"] == 0xA5
+        assert const.width == 8
+
+    def test_unsupported_statement_raises(self):
+        with pytest.raises(HDLSyntaxError):
+            parse_verilog("module t(clk); input clk; initial x = 1; endmodule")
+
+    def test_undeclared_signal_raises(self):
+        text = """
+        module t(clk, y);
+          input clk; output y;
+          assign y = ghost;
+        endmodule
+        """
+        with pytest.raises(HDLSyntaxError, match="undeclared"):
+            parse_verilog(text)
+
+    def test_missing_module_raises(self):
+        with pytest.raises(HDLSyntaxError):
+            parse_verilog("wire x;")
+
+
+class TestRoundtrip:
+    def test_counter(self):
+        assert_roundtrip(build_counter())
+
+    def test_all_ops(self):
+        assert_roundtrip(build_all_ops())
+
+    def test_slice_beyond_source_width_uses_pad(self):
+        b = GraphBuilder("padded")
+        a = b.input("a", 4)
+        s = b.slice_(a, 7, 2)  # hi=7 exceeds 4-bit source: needs padding
+        b.output("y", s)
+        g = b.build()
+        text = generate_verilog(g)
+        assert "_pad" in text
+        assert_roundtrip(g)
+
+    def test_pure_sequential_loop(self):
+        b = GraphBuilder("osc")
+        r = b.reg("r", 1)
+        b.drive_reg(r, b.not_(r))
+        b.output("q", r)
+        assert_roundtrip(b.build())

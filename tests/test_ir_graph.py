@@ -1,0 +1,141 @@
+"""Unit tests for the circuit IR: nodes, edges, adjacency, serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (
+    ARITY,
+    CircuitGraph,
+    GraphBuilder,
+    NodeType,
+    arity_of,
+    from_adjacency,
+    is_sequential,
+    type_from_index,
+    type_index,
+)
+
+
+def small_counter() -> CircuitGraph:
+    b = GraphBuilder("counter")
+    en = b.input("en", 1)
+    one = b.const(1, 4)
+    count = b.reg("count", 4)
+    inc = b.add(count, one, width=4)
+    nxt = b.mux(en, inc, count)
+    b.drive_reg(count, nxt)
+    b.output("value", count)
+    return b.build()
+
+
+class TestNodeTypes:
+    def test_every_type_has_arity(self):
+        for t in NodeType:
+            assert t in ARITY
+
+    def test_arity_values(self):
+        assert arity_of(NodeType.IN) == 0
+        assert arity_of(NodeType.CONST) == 0
+        assert arity_of(NodeType.REG) == 1
+        assert arity_of(NodeType.NOT) == 1
+        assert arity_of(NodeType.ADD) == 2
+        assert arity_of(NodeType.MUX) == 3
+
+    def test_sequential_flag(self):
+        assert is_sequential(NodeType.REG)
+        assert not is_sequential(NodeType.ADD)
+
+    def test_type_index_roundtrip(self):
+        for t in NodeType:
+            assert type_from_index(type_index(t)) is t
+
+
+class TestCircuitGraph:
+    def test_add_node_returns_dense_ids(self):
+        g = CircuitGraph()
+        assert g.add_node(NodeType.IN, 4) == 0
+        assert g.add_node(NodeType.REG, 4) == 1
+        assert g.num_nodes == 2
+
+    def test_width_must_be_positive(self):
+        g = CircuitGraph()
+        with pytest.raises(ValueError):
+            g.add_node(NodeType.IN, 0)
+
+    def test_set_parents_checks_arity(self):
+        g = CircuitGraph()
+        a = g.add_node(NodeType.IN, 1)
+        n = g.add_node(NodeType.ADD, 1)
+        with pytest.raises(ValueError):
+            g.set_parents(n, [a])  # ADD needs two parents
+
+    def test_slot_out_of_range(self):
+        g = CircuitGraph()
+        a = g.add_node(NodeType.IN, 1)
+        n = g.add_node(NodeType.NOT, 1)
+        with pytest.raises(IndexError):
+            g.set_parent(n, 1, a)
+
+    def test_children_and_edges(self):
+        g = small_counter()
+        reg = g.nodes_of_type(NodeType.REG)[0]
+        kids = g.children(reg)
+        # The register drives the adder, the mux and the output.
+        assert len(kids) == 3
+        edges = set(g.edges())
+        assert all(0 <= p < len(g) and 0 <= c < len(g) for p, c in edges)
+
+    def test_adjacency_matches_edges(self):
+        g = small_counter()
+        a = g.adjacency()
+        for p, c in g.edges():
+            assert a[p, c]
+        assert a.sum() == len(set(g.edges()))
+
+    def test_child_map_matches_children(self):
+        g = small_counter()
+        fanout = g.child_map()
+        for node in g.nodes():
+            assert fanout[node.id] == g.children(node.id)
+
+    def test_registers_and_total_bits(self):
+        g = small_counter()
+        assert len(g.registers()) == 1
+        assert g.total_register_bits() == 4
+
+    def test_copy_is_deep(self):
+        g = small_counter()
+        g2 = g.copy()
+        g2.clear_parents(g2.outputs()[0])
+        assert g.filled_parents(g.outputs()[0])
+        assert not g2.filled_parents(g2.outputs()[0])
+
+    def test_json_roundtrip(self):
+        g = small_counter()
+        g2 = CircuitGraph.from_json(g.to_json())
+        assert g2.num_nodes == g.num_nodes
+        assert list(g2.edges()) == list(g.edges())
+        for n1, n2 in zip(g.nodes(), g2.nodes()):
+            assert n1.type is n2.type
+            assert n1.width == n2.width
+            assert n1.params == n2.params
+
+
+class TestFromAdjacency:
+    def test_basic_roundtrip(self):
+        g = small_counter()
+        a = g.adjacency()
+        types = [n.type for n in g.nodes()]
+        widths = [n.width for n in g.nodes()]
+        g2 = from_adjacency(a, types, widths)
+        assert np.array_equal(g2.adjacency(), a)
+
+    def test_too_many_parents_rejected(self):
+        a = np.zeros((3, 3), dtype=bool)
+        a[0, 2] = a[1, 2] = True
+        with pytest.raises(ValueError):
+            from_adjacency(
+                a,
+                [NodeType.IN, NodeType.IN, NodeType.NOT],
+                [1, 1, 1],
+            )

@@ -1,0 +1,155 @@
+"""Tests for constraint checking: arity + combinational loop detection."""
+
+import pytest
+
+from repro.ir import (
+    CircuitGraph,
+    GraphBuilder,
+    NodeType,
+    assert_valid,
+    find_combinational_cycles,
+    has_combinational_loop,
+    validate,
+    would_create_combinational_loop,
+)
+
+
+def graph_with_comb_loop() -> CircuitGraph:
+    """x = NOT(y); y = NOT(x) -- a pure combinational cycle."""
+    g = CircuitGraph()
+    x = g.add_node(NodeType.NOT, 1)
+    y = g.add_node(NodeType.NOT, 1)
+    g.set_parent(x, 0, y)
+    g.set_parent(y, 0, x)
+    return g
+
+
+def graph_with_reg_loop() -> CircuitGraph:
+    """r = REG(NOT(r)) -- a legal sequential feedback loop."""
+    g = CircuitGraph()
+    r = g.add_node(NodeType.REG, 1)
+    inv = g.add_node(NodeType.NOT, 1)
+    g.set_parent(inv, 0, r)
+    g.set_parent(r, 0, inv)
+    return g
+
+
+class TestArity:
+    def test_unfilled_parent_is_violation(self):
+        g = CircuitGraph()
+        g.add_node(NodeType.NOT, 1)
+        report = validate(g)
+        assert report.arity_violations == [0]
+        assert not report.ok
+
+    def test_valid_graph_reports_ok(self):
+        b = GraphBuilder()
+        a = b.input("a", 1)
+        b.output("o", b.not_(a))
+        report = validate(b.build())
+        assert report.ok
+        assert report.summary() == "valid"
+
+
+class TestCombinationalLoops:
+    def test_pure_comb_cycle_detected(self):
+        g = graph_with_comb_loop()
+        assert has_combinational_loop(g)
+        cycles = find_combinational_cycles(g)
+        assert cycles
+        # Every reported cycle must close on itself.
+        for cyc in cycles:
+            assert cyc[0] == cyc[-1]
+
+    def test_register_breaks_cycle(self):
+        g = graph_with_reg_loop()
+        assert not has_combinational_loop(g)
+        assert validate(g).ok
+
+    def test_self_loop_on_comb_node(self):
+        g = CircuitGraph()
+        x = g.add_node(NodeType.NOT, 1)
+        g.set_parent(x, 0, x)
+        assert has_combinational_loop(g)
+
+    def test_self_loop_on_register_is_fine(self):
+        g = CircuitGraph()
+        r = g.add_node(NodeType.REG, 1)
+        g.set_parent(r, 0, r)
+        assert not has_combinational_loop(g)
+
+    def test_long_comb_cycle(self):
+        g = CircuitGraph()
+        nodes = [g.add_node(NodeType.NOT, 1) for _ in range(10)]
+        for i, n in enumerate(nodes):
+            g.set_parent(n, 0, nodes[(i - 1) % len(nodes)])
+        assert has_combinational_loop(g)
+
+    def test_cycle_limit_respected(self):
+        g = CircuitGraph()
+        # Two independent 2-cycles.
+        for _ in range(2):
+            x = g.add_node(NodeType.NOT, 1)
+            y = g.add_node(NodeType.NOT, 1)
+            g.set_parent(x, 0, y)
+            g.set_parent(y, 0, x)
+        assert len(find_combinational_cycles(g, limit=1)) == 1
+
+
+class TestIncrementalLoopCheck:
+    def test_edge_closing_comb_path_detected(self):
+        g = CircuitGraph()
+        a = g.add_node(NodeType.NOT, 1)
+        c = g.add_node(NodeType.NOT, 1)
+        g.set_parent(c, 0, a)  # a -> c exists; now c -> a would close a loop
+        assert would_create_combinational_loop(g, parent=c, child=a)
+
+    def test_edge_through_register_allowed(self):
+        g = CircuitGraph()
+        r = g.add_node(NodeType.REG, 1)
+        inv = g.add_node(NodeType.NOT, 1)
+        g.set_parent(inv, 0, r)
+        # inv -> r closes the cycle but r is a register: allowed.
+        assert not would_create_combinational_loop(g, parent=inv, child=r)
+
+    def test_self_edge_comb_rejected(self):
+        g = CircuitGraph()
+        x = g.add_node(NodeType.NOT, 1)
+        assert would_create_combinational_loop(g, parent=x, child=x)
+
+    def test_self_edge_register_allowed(self):
+        g = CircuitGraph()
+        r = g.add_node(NodeType.REG, 1)
+        assert not would_create_combinational_loop(g, parent=r, child=r)
+
+    def test_path_blocked_by_register(self):
+        # a -> r(reg) -> b; adding b -> a does NOT create a comb loop.
+        g = CircuitGraph()
+        a = g.add_node(NodeType.NOT, 1)
+        r = g.add_node(NodeType.REG, 1)
+        b_node = g.add_node(NodeType.NOT, 1)
+        g.set_parent(r, 0, a)
+        g.set_parent(b_node, 0, r)
+        assert not would_create_combinational_loop(g, parent=b_node, child=a)
+
+    def test_matches_full_check(self):
+        # Adding the flagged edge then running the global check agrees.
+        g = CircuitGraph()
+        a = g.add_node(NodeType.NOT, 1)
+        c = g.add_node(NodeType.AND, 1)
+        g.set_parent(c, 0, a)
+        flagged = would_create_combinational_loop(g, parent=c, child=a)
+        g.set_parent(a, 0, c)
+        assert flagged == has_combinational_loop(g)
+
+
+class TestDanglingOutputs:
+    def test_dangling_output_reported(self):
+        g = CircuitGraph()
+        g.add_node(NodeType.OUT, 1)
+        report = validate(g)
+        assert report.dangling_outputs == [0]
+
+    def test_assert_valid_raises(self):
+        with pytest.raises(ValueError, match="invalid circuit graph"):
+            assert_valid(graph_with_comb_loop())

@@ -1,0 +1,218 @@
+"""Tests for the evaluation metric suite."""
+
+import networkx as nx
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench_designs import load_design
+from repro.ir import GraphBuilder
+from repro.metrics import (
+    class_homophily,
+    class_homophily_two_hop,
+    clustering_coefficients,
+    collect_timing_distribution,
+    mape,
+    orbit_counts,
+    pearson_r,
+    ratio_statistic,
+    rrse,
+    score_regression,
+    structural_similarity,
+    triangle_count,
+    undirected_simple,
+    w1_distance,
+    w1_out_degree,
+)
+
+
+def _adj(edges, n):
+    a = np.zeros((n, n), dtype=bool)
+    for i, j in edges:
+        a[i, j] = True
+    return a
+
+
+class TestOrbits:
+    def test_triangle_graph(self):
+        a = _adj([(0, 1), (1, 2), (2, 0)], 3)
+        counts = orbit_counts(a)
+        np.testing.assert_allclose(counts[:, 0], [2, 2, 2])   # degree
+        np.testing.assert_allclose(counts[:, 3], [1, 1, 1])   # triangles
+        np.testing.assert_allclose(counts[:, 2], [0, 0, 0])   # no induced P3
+        assert triangle_count(a) == 1
+
+    def test_path_graph(self):
+        a = _adj([(0, 1), (1, 2)], 3)
+        counts = orbit_counts(a)
+        np.testing.assert_allclose(counts[:, 0], [1, 2, 1])
+        np.testing.assert_allclose(counts[:, 2], [0, 1, 0])   # centre at 1
+        np.testing.assert_allclose(counts[:, 1], [1, 0, 1])   # ends at 0, 2
+        assert triangle_count(a) == 0
+
+    def test_star_graph(self):
+        a = _adj([(0, 1), (0, 2), (0, 3)], 4)
+        counts = orbit_counts(a)
+        assert counts[0, 4] == 1      # centre of one 3-star
+        assert counts[1, 4] == 0
+
+    def test_square_graph_c4(self):
+        a = _adj([(0, 1), (1, 2), (2, 3), (3, 0)], 4)
+        counts = orbit_counts(a)
+        np.testing.assert_allclose(counts[:, 5], [1, 1, 1, 1])
+
+    def test_direction_and_self_loops_ignored(self):
+        a = _adj([(0, 1), (1, 0), (2, 2), (1, 2)], 3)
+        u = undirected_simple(a)
+        assert not u.diagonal().any()
+        assert u[0, 1] and u[1, 0]
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 1000), n=st.integers(4, 25))
+    def test_matches_networkx(self, seed, n):
+        """Property: degree/triangle/clustering agree with networkx."""
+        rng = np.random.default_rng(seed)
+        a = rng.random((n, n)) < 0.2
+        u = undirected_simple(a)
+        g = nx.from_numpy_array(u)
+        counts = orbit_counts(a)
+        nx_deg = np.array([d for _, d in sorted(g.degree())], dtype=float)
+        np.testing.assert_allclose(counts[:, 0], nx_deg)
+        nx_tri = np.array(
+            [nx.triangles(g)[i] for i in range(n)], dtype=float
+        )
+        np.testing.assert_allclose(counts[:, 3], nx_tri)
+        nx_clu = np.array([nx.clustering(g)[i] for i in range(n)])
+        np.testing.assert_allclose(
+            clustering_coefficients(a), nx_clu, atol=1e-12
+        )
+        # C4 orbit: total over nodes must equal 4 * cycle count.
+        cycles4 = sum(
+            1 for c in nx.simple_cycles(g, length_bound=4) if len(c) == 4
+        )
+        assert counts[:, 5].sum() == pytest.approx(4 * cycles4)
+
+
+class TestHomophily:
+    def test_perfectly_homophilous(self):
+        # Two cliques of one class each: h_k = 1 for both classes, each
+        # contributes max(0, 1 - 0.5); normalised by C-1 = 1 gives 1.0.
+        a = _adj([(0, 1), (2, 3)], 4)
+        labels = np.array([0, 0, 1, 1])
+        assert class_homophily(a, labels) == pytest.approx(1.0)
+
+    def test_heterophilous_is_zero(self):
+        a = _adj([(0, 1), (2, 3)], 4)
+        labels = np.array([0, 1, 0, 1])   # every edge crosses classes
+        assert class_homophily(a, labels) == 0.0
+
+    def test_single_class_zero(self):
+        a = _adj([(0, 1)], 2)
+        assert class_homophily(a, np.zeros(2)) == 0.0
+
+    def test_two_hop_variant(self):
+        # Path 0-1-2: two-hop connects 0 and 2.
+        a = _adj([(0, 1), (1, 2)], 3)
+        labels = np.array([0, 1, 0])
+        assert class_homophily_two_hop(a, labels) > 0
+
+    def test_label_length_mismatch(self):
+        with pytest.raises(ValueError):
+            class_homophily(_adj([], 3), np.zeros(2))
+
+
+class TestW1:
+    def test_identical_zero(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert w1_distance(x, x) == 0.0
+
+    def test_shift_detected(self):
+        x = np.zeros(100)
+        assert w1_distance(x, x + 2.5) == pytest.approx(2.5)
+
+    def test_out_degree_of_same_graph(self):
+        g = load_design("alu")
+        assert w1_out_degree(g, g) == 0.0
+
+
+class TestRatio:
+    def test_perfect_ratio(self):
+        assert ratio_statistic(2.0, [2.0, 2.0]) == pytest.approx(1.0)
+
+    def test_zero_reference_nan(self):
+        assert np.isnan(ratio_statistic(0.0, [1.0]))
+
+
+class TestStructuralReport:
+    def test_self_similarity_is_ideal(self):
+        # counter_timer contains mux feedback triangles, so the triangle
+        # ratio is well defined (non-zero denominator).
+        g = load_design("counter_timer")
+        assert triangle_count(g.adjacency()) > 0
+        report = structural_similarity(g, [g])
+        assert report.w1_out_degree == 0.0
+        assert report.w1_clustering == 0.0
+        assert report.w1_orbit == 0.0
+        assert report.ratio_triangle == pytest.approx(1.0)
+
+    def test_different_graph_nonzero(self):
+        g1 = load_design("alu")
+        g2 = load_design("fifo_sync")
+        report = structural_similarity(g1, [g2])
+        assert report.w1_out_degree > 0
+
+    def test_empty_generated_rejected(self):
+        with pytest.raises(ValueError):
+            structural_similarity(load_design("alu"), [])
+
+    def test_as_row_keys(self):
+        g = load_design("alu")
+        row = structural_similarity(g, [g]).as_row()
+        assert set(row) == {
+            "out_degree", "cluster", "orbit", "triangle", "h(A,Y)", "h(A2,Y)"
+        }
+
+
+class TestRegressionMetrics:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        scores = score_regression(y, y)
+        assert scores.r == pytest.approx(1.0)
+        assert scores.mape == 0.0
+        assert scores.rrse == 0.0
+
+    def test_mean_prediction_rrse_one(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        pred = np.full(4, y.mean())
+        assert rrse(y, pred) == pytest.approx(1.0)
+
+    def test_constant_prediction_r_nan(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert np.isnan(pearson_r(y, np.ones(3)))
+
+    def test_anticorrelation(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert pearson_r(y, -y) == pytest.approx(-1.0)
+
+    def test_mape_scale(self):
+        y = np.array([10.0, 10.0])
+        pred = np.array([11.0, 9.0])
+        assert mape(y, pred) == pytest.approx(0.1)
+
+
+class TestTimingDistribution:
+    def test_collects_stats(self):
+        graphs = [load_design("alu"), load_design("uart_tx")]
+        dist = collect_timing_distribution(graphs, "real", clock_period=0.1)
+        assert len(dist.wns) == 2
+        assert len(dist.tns_per_violation) == 2
+        summary = dist.summary()
+        assert summary["wns_min"] <= summary["wns_mean"]
+
+    def test_tight_clock_produces_violations(self):
+        dist = collect_timing_distribution(
+            [load_design("mac_unit")], "real", clock_period=0.05
+        )
+        assert dist.wns[0] < 0
+        assert dist.tns_per_violation[0] < 0

@@ -1,0 +1,143 @@
+"""Additional coverage for the nn substrate: errors, edge shapes, misc ops."""
+
+import numpy as np
+import pytest
+
+from repro.nn import MLP, Adam, Linear, Module, Tensor, concat_all, parameter
+
+
+class TestTensorErrors:
+    def test_backward_on_non_grad_tensor(self):
+        t = Tensor(np.zeros(3))
+        with pytest.raises(RuntimeError):
+            t.backward()
+
+    def test_backward_non_scalar_needs_grad(self):
+        t = Tensor(np.zeros(3))
+        t.requires_grad = True
+        with pytest.raises(RuntimeError):
+            (t * 2.0).backward()
+
+    def test_backward_with_explicit_grad(self):
+        t = Tensor(np.array([1.0, 2.0]))
+        t.requires_grad = True
+        out = t * 3.0
+        out.backward(np.array([1.0, 1.0]))
+        np.testing.assert_allclose(t.grad, [3.0, 3.0])
+
+    def test_detach_breaks_tape(self):
+        t = Tensor(np.array([1.0]))
+        t.requires_grad = True
+        d = (t * 2.0).detach()
+        assert not d.requires_grad
+
+    def test_grad_accumulates_across_uses(self):
+        t = Tensor(np.array([2.0]))
+        t.requires_grad = True
+        out = t * 3.0 + t * 4.0
+        out.backward(np.array([1.0]))
+        np.testing.assert_allclose(t.grad, [7.0])
+
+    def test_zero_grad(self):
+        t = Tensor(np.array([1.0]))
+        t.requires_grad = True
+        (t * t).backward(np.array([1.0]))
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+
+class TestTensorOps:
+    def test_item_and_size(self):
+        t = Tensor(np.array([[3.5]]))
+        assert t.item() == 3.5
+        assert t.size == 1
+        assert t.ndim == 2
+
+    def test_rsub_rdiv(self):
+        t = Tensor(np.array([2.0]))
+        assert (3.0 - t).data[0] == 1.0
+        assert (8.0 / t).data[0] == 4.0
+
+    def test_concat_all(self):
+        parts = [Tensor(np.ones((2, 2))) for _ in range(3)]
+        out = concat_all(parts, axis=1)
+        assert out.shape == (2, 6)
+
+    def test_diamond_graph_gradient(self):
+        # y = f(x) used twice; topological sort must visit f once.
+        x = Tensor(np.array([1.5]))
+        x.requires_grad = True
+        shared = x * 2.0
+        out = (shared * shared).sum()
+        out.backward()
+        np.testing.assert_allclose(x.grad, [2 * 2.0 * 2.0 * 1.5])
+
+
+class TestModules:
+    def test_parameter_init_scale(self):
+        rng = np.random.default_rng(0)
+        p = parameter((100, 50), rng)
+        assert p.requires_grad
+        assert np.abs(p.data).max() <= 1.0 / np.sqrt(100) + 1e-12
+
+    def test_linear_no_bias(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 2, rng, bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_mlp_validations(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            MLP([4], rng)
+        with pytest.raises(ValueError):
+            MLP([4, 2], rng, activation="swish")
+
+    def test_mlp_final_activation(self):
+        rng = np.random.default_rng(0)
+        mlp = MLP([2, 4, 1], rng, final_activation="sigmoid")
+        out = mlp(Tensor(np.zeros((3, 2))))
+        assert np.all((0 < out.data) & (out.data < 1))
+
+    def test_module_dedupes_shared_parameters(self):
+        rng = np.random.default_rng(0)
+
+        class Shared(Module):
+            def __init__(self):
+                self.a = Linear(2, 2, rng)
+                self.b = self.a  # alias
+
+        assert len(Shared().parameters()) == 2  # weight + bias once
+
+    def test_state_dict_shape_mismatch(self):
+        rng = np.random.default_rng(0)
+        m1 = MLP([2, 3, 1], rng)
+        m2 = MLP([2, 4, 1], rng)
+        with pytest.raises(ValueError):
+            m2.load_state_dict(m1.state_dict())
+
+    def test_num_parameters(self):
+        rng = np.random.default_rng(0)
+        layer = Linear(3, 2, rng)
+        assert layer.num_parameters() == 3 * 2 + 2
+
+
+class TestAdamDetails:
+    def test_weight_decay_shrinks(self):
+        x = Tensor(np.array([10.0]))
+        x.requires_grad = True
+        opt = Adam([x], lr=0.1, weight_decay=1.0)
+        for _ in range(50):
+            opt.zero_grad()
+            # Zero data-gradient: only decay drives the update.
+            (x * 0.0).sum().backward()
+            opt.step()
+        assert abs(x.data[0]) < 10.0
+
+    def test_step_without_grad_is_noop(self):
+        x = Tensor(np.array([1.0]))
+        x.requires_grad = True
+        opt = Adam([x], lr=0.5)
+        opt.step()  # no backward called: grad is None
+        assert x.data[0] == 1.0

@@ -1,0 +1,153 @@
+"""Tests for Phase 2: probability-guided validity refinement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import NodeType, arity_of, type_index, validate
+from repro.postprocess import RefinementError, refine_to_valid
+
+
+def _attrs(*types: NodeType, width: int = 4):
+    t = np.array([type_index(x) for x in types], dtype=np.int64)
+    w = np.full(len(types), width, dtype=np.int64)
+    return t, w
+
+
+def _refine(types, widths, adjacency=None, probs=None, **kw):
+    n = len(types)
+    if adjacency is None:
+        adjacency = np.zeros((n, n), dtype=bool)
+    if probs is None:
+        probs = np.random.default_rng(0).random((n, n))
+    return refine_to_valid(types, widths, adjacency, probs, **kw)
+
+
+class TestBasicRefinement:
+    def test_produces_valid_graph(self):
+        types, widths = _attrs(
+            NodeType.IN, NodeType.CONST, NodeType.REG, NodeType.ADD,
+            NodeType.XOR, NodeType.MUX, NodeType.OUT,
+        )
+        g = _refine(types, widths)
+        assert validate(g).ok
+
+    def test_arities_exact(self):
+        types, widths = _attrs(
+            NodeType.IN, NodeType.IN, NodeType.REG, NodeType.MUX, NodeType.OUT
+        )
+        g = _refine(types, widths)
+        for node in g.nodes():
+            assert len(g.filled_parents(node.id)) == arity_of(node.type)
+
+    def test_keeps_valid_proposals(self):
+        """Edges from G_ini that satisfy C must be preserved (paper: skip
+        nodes whose parent edges are already valid)."""
+        types, widths = _attrs(NodeType.IN, NodeType.NOT, NodeType.OUT)
+        n = len(types)
+        adjacency = np.zeros((n, n), dtype=bool)
+        adjacency[0, 1] = True   # IN -> NOT: already valid
+        probs = np.full((n, n), 0.5)
+        g = refine_to_valid(types, widths, adjacency, probs)
+        assert g.filled_parents(1) == [0]
+
+    def test_probability_ranking_respected(self):
+        types, widths = _attrs(
+            NodeType.IN, NodeType.IN, NodeType.NOT, NodeType.OUT
+        )
+        n = len(types)
+        probs = np.zeros((n, n))
+        probs[1, 2] = 0.9   # prefer input 1 as the NOT's parent
+        probs[0, 2] = 0.1
+        probs[2, 3] = 0.9
+        g = refine_to_valid(
+            types, widths, np.zeros((n, n), dtype=bool), probs,
+            degree_guidance=0.0,
+        )
+        assert g.filled_parents(2) == [1]
+
+    def test_out_nodes_never_drive(self):
+        types, widths = _attrs(
+            NodeType.IN, NodeType.OUT, NodeType.NOT, NodeType.OUT
+        )
+        n = len(types)
+        probs = np.zeros((n, n))
+        probs[1, 2] = 1.0   # tempt the NOT to take the OUT as parent
+        probs[0, 2] = 0.1
+        g = refine_to_valid(types, widths, np.zeros((n, n), dtype=bool), probs)
+        assert g.filled_parents(2) == [0]
+
+    def test_no_combinational_loops_created(self):
+        rng = np.random.default_rng(5)
+        ops = [NodeType.ADD, NodeType.XOR, NodeType.MUX, NodeType.NOT,
+               NodeType.AND, NodeType.OR]
+        types = [NodeType.IN, NodeType.CONST] + [
+            ops[i % len(ops)] for i in range(20)
+        ] + [NodeType.REG, NodeType.OUT]
+        t, w = _attrs(*types)
+        probs = rng.random((len(types), len(types)))
+        g = refine_to_valid(t, w, np.zeros_like(probs, dtype=bool), probs)
+        assert validate(g).ok
+
+    def test_register_self_loop_allowed(self):
+        types, widths = _attrs(NodeType.REG, NodeType.OUT)
+        n = len(types)
+        probs = np.zeros((n, n))
+        probs[0, 0] = 1.0   # register prefers itself: legal feedback
+        probs[0, 1] = 1.0
+        g = refine_to_valid(types, widths, np.zeros((n, n), dtype=bool), probs)
+        assert g.filled_parents(0) == [0]
+
+    def test_impossible_graph_raises(self):
+        # A lone NOT node: its only candidate parent is itself (comb loop).
+        types, widths = _attrs(NodeType.NOT)
+        with pytest.raises(RefinementError):
+            _refine(types, widths)
+
+    def test_const_params_synthesised(self):
+        types, widths = _attrs(NodeType.CONST, NodeType.OUT, width=8)
+        g = _refine(types, widths)
+        const = g.node(0)
+        assert 0 <= const.params["value"] < (1 << 8)
+
+
+class TestDegreeGuidance:
+    def test_guidance_spreads_fanout(self):
+        """With guidance, registers should not be left unconnected."""
+        rng = np.random.default_rng(0)
+        types = [NodeType.IN, NodeType.REG, NodeType.REG] + [
+            NodeType.XOR
+        ] * 10 + [NodeType.OUT, NodeType.OUT]
+        t, w = _attrs(*types)
+        n = len(t)
+        # Uniform probabilities: without guidance ties go to low indices.
+        probs = np.full((n, n), 0.5) + rng.random((n, n)) * 1e-6
+        g = refine_to_valid(
+            t, w, np.zeros((n, n), dtype=bool), probs, degree_guidance=1.0
+        )
+        reg_fanouts = [len(g.children(r)) for r in g.registers()]
+        assert all(f > 0 for f in reg_fanouts)
+
+
+class TestPropertyRefinement:
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000), n_ops=st.integers(4, 24))
+    def test_random_attribute_vectors_always_valid(self, seed, n_ops):
+        """Property: refinement output always satisfies the constraints C."""
+        rng = np.random.default_rng(seed)
+        pool = [
+            NodeType.ADD, NodeType.SUB, NodeType.AND, NodeType.OR,
+            NodeType.XOR, NodeType.NOT, NodeType.MUX, NodeType.EQ,
+            NodeType.SLICE, NodeType.CONCAT, NodeType.REG,
+        ]
+        types = [NodeType.IN, NodeType.CONST]
+        types += [pool[rng.integers(0, len(pool))] for _ in range(n_ops)]
+        types += [NodeType.REG, NodeType.OUT]
+        t, w = _attrs(*types)
+        n = len(t)
+        adjacency = rng.random((n, n)) < 0.15
+        probs = rng.random((n, n))
+        g = refine_to_valid(t, w, adjacency, probs, rng=rng)
+        assert validate(g).ok
+        assert g.num_nodes == n

@@ -1,0 +1,155 @@
+"""Tests for the downstream PPA prediction substrate."""
+
+import numpy as np
+import pytest
+
+from repro.bench_designs import load_corpus, load_design
+from repro.ppa import (
+    DESIGN_FEATURE_DIM,
+    GradientBoostedTrees,
+    RandomForest,
+    REGISTER_FEATURE_DIM,
+    RegressionTree,
+    Ridge,
+    design_features,
+    design_samples,
+    estimated_logic_depth,
+    evaluate_augmentation,
+    format_table,
+    register_features,
+    register_samples,
+    stack_design_samples,
+)
+
+RNG = np.random.default_rng(0)
+
+
+def _toy_regression(n=120, noise=0.05):
+    x = RNG.uniform(-1, 1, size=(n, 4))
+    y = 2 * x[:, 0] - x[:, 1] ** 2 + 0.5 * x[:, 2] * x[:, 3]
+    return x, y + RNG.normal(0, noise, size=n)
+
+
+class TestRegressionTree:
+    def test_fits_step_function(self):
+        x = np.linspace(0, 1, 50)[:, None]
+        y = (x[:, 0] > 0.5).astype(float)
+        tree = RegressionTree(max_depth=2).fit(x, y)
+        pred = tree.predict(x)
+        assert np.abs(pred - y).max() < 0.01
+
+    def test_depth_zero_predicts_mean(self):
+        x, y = _toy_regression()
+        tree = RegressionTree(max_depth=0).fit(x, y)
+        np.testing.assert_allclose(tree.predict(x), y.mean())
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            RegressionTree().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_unfitted_predict_raises(self):
+        with pytest.raises(RuntimeError):
+            RegressionTree().predict(np.zeros((1, 2)))
+
+
+class TestEnsembles:
+    def test_gbm_beats_single_tree(self):
+        x, y = _toy_regression()
+        tree_err = np.mean(
+            (RegressionTree(max_depth=3).fit(x, y).predict(x) - y) ** 2
+        )
+        gbm_err = np.mean(
+            (GradientBoostedTrees(n_estimators=50).fit(x, y).predict(x) - y) ** 2
+        )
+        assert gbm_err < tree_err
+
+    def test_random_forest_reasonable(self):
+        x, y = _toy_regression()
+        rf = RandomForest(n_estimators=20, max_depth=5).fit(x, y)
+        err = np.mean((rf.predict(x) - y) ** 2)
+        assert err < np.var(y)
+
+    def test_ridge_recovers_linear(self):
+        x = RNG.normal(size=(100, 3))
+        y = x @ np.array([1.0, -2.0, 0.5]) + 3.0
+        ridge = Ridge(alpha=1e-6).fit(x, y)
+        np.testing.assert_allclose(ridge.predict(x), y, atol=1e-6)
+
+    def test_unfitted_raises(self):
+        for model in (GradientBoostedTrees(), RandomForest(), Ridge()):
+            with pytest.raises(RuntimeError):
+                model.predict(np.zeros((1, 2)))
+
+    def test_gbm_subsample(self):
+        x, y = _toy_regression()
+        gbm = GradientBoostedTrees(n_estimators=20, subsample=0.7).fit(x, y)
+        assert np.isfinite(gbm.predict(x)).all()
+
+
+class TestFeatures:
+    def test_design_feature_dim(self):
+        g = load_design("alu")
+        feats = design_features(g, clock_period=1.0)
+        assert feats.shape == (DESIGN_FEATURE_DIM,)
+
+    def test_register_feature_dim(self):
+        g = load_design("uart_tx")
+        reg = g.registers()[0]
+        feats = register_features(g, reg, clock_period=1.0)
+        assert feats.shape == (REGISTER_FEATURE_DIM,)
+
+    def test_logic_depth_orders_designs(self):
+        shallow = load_design("gray_counter")
+        deep = load_design("mac_unit")
+        assert estimated_logic_depth(deep) > estimated_logic_depth(shallow)
+
+    def test_period_is_a_feature(self):
+        g = load_design("alu")
+        f1 = design_features(g, 0.5)
+        f2 = design_features(g, 2.0)
+        assert f1[-1] != f2[-1]
+        np.testing.assert_allclose(f1[:-1], f2[:-1])
+
+
+class TestLabels:
+    def test_design_samples_cover_pareto(self):
+        samples = design_samples([load_design("alu")], periods=[0.3, 0.6, 1.2])
+        assert samples
+        assert all(s.area > 0 for s in samples)
+
+    def test_stacking(self):
+        samples = design_samples([load_design("alu")], periods=[0.5, 1.0])
+        x, y = stack_design_samples(samples)
+        assert x.shape[0] == len(samples)
+        assert set(y) == {"area", "wns", "tns"}
+
+    def test_register_samples_nonempty_for_real_designs(self):
+        x, y = register_samples([load_design("uart_tx")], clock_period=1.0)
+        assert len(y) > 0
+        assert x.shape == (len(y), REGISTER_FEATURE_DIM)
+
+    def test_empty_inputs(self):
+        x, y = register_samples([], clock_period=1.0)
+        assert len(y) == 0
+        x2, y2 = stack_design_samples([])
+        assert x2.shape[0] == 0
+
+
+class TestHarness:
+    def test_rows_and_format(self):
+        corpus = load_corpus()
+        rows = evaluate_augmentation(
+            corpus[:5], corpus[5:8], {"Extra real": corpus[8:10]},
+            periods=[0.3, 0.8],
+        )
+        assert [r.label for r in rows] == ["Basic training data", "Extra real"]
+        table = format_table(rows)
+        assert "Basic training data" in table
+        assert "RegSlack R" in table
+
+    def test_scores_have_all_tasks(self):
+        corpus = load_corpus()
+        rows = evaluate_augmentation(
+            corpus[:5], corpus[5:7], {}, periods=[0.3, 0.8]
+        )
+        assert set(rows[0].scores) == {"reg_slack", "wns", "tns", "area"}

@@ -1,0 +1,126 @@
+"""Extra coverage for the synthesis flow: SCPR/PCS semantics, sweeps."""
+
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.synth import SynthResult, pareto_sweep, synthesize
+from repro.synth.elaborate import MUL_WIDTH_CAP, elaborate
+
+
+class TestMetricsSemantics:
+    def test_pcs_definition(self):
+        b = GraphBuilder("t")
+        a = b.input("a", 4)
+        r = b.reg("r", 4)
+        b.drive_reg(r, b.xor(a, r))
+        b.output("y", r)
+        g = b.build()
+        result = synthesize(g, clock_period=2.0)
+        assert result.pcs == pytest.approx(result.area / g.num_nodes)
+
+    def test_scpr_definition(self):
+        b = GraphBuilder("t")
+        a = b.input("a", 8)
+        r = b.reg("r", 8)
+        b.drive_reg(r, b.not_(r))
+        b.output("y", b.and_(r, a))
+        g = b.build()
+        result = synthesize(g, clock_period=2.0)
+        assert result.scpr == pytest.approx(
+            result.num_dffs / g.total_register_bits()
+        )
+
+    def test_combinational_design_scpr_is_one(self):
+        b = GraphBuilder("comb")
+        a = b.input("a", 4)
+        b.output("y", b.not_(a))
+        result = synthesize(b.build(), clock_period=1.0)
+        assert result.scpr == 1.0  # no registers: vacuously preserved
+
+    def test_wns_improves_with_looser_clock(self):
+        b = GraphBuilder("t")
+        a = b.input("a", 8)
+        c = b.input("c", 8)
+        b.output("y", b.mul(a, c, width=16))
+        g = b.build()
+        tight = synthesize(g, clock_period=0.2)
+        loose = synthesize(g, clock_period=5.0)
+        assert loose.wns > tight.wns
+        assert loose.area == tight.area  # same netlist, same strength
+
+    def test_stronger_cells_faster_but_bigger(self):
+        b = GraphBuilder("t")
+        a = b.input("a", 8)
+        c = b.input("c", 8)
+        b.output("y", b.mul(a, c, width=16))
+        g = b.build()
+        weak = synthesize(g, clock_period=1.0, strength=1)
+        strong = synthesize(g, clock_period=1.0, strength=4)
+        assert strong.wns > weak.wns
+        assert strong.area > weak.area
+
+
+class TestElaborationLimits:
+    def test_mul_width_capped(self):
+        b = GraphBuilder("wide")
+        a = b.input("a", 64)
+        c = b.input("c", 64)
+        b.output("y", b.mul(a, c, width=64))
+        netlist = elaborate(b.build())
+        # The array multiplier only covers MUL_WIDTH_CAP operand bits.
+        assert netlist.num_gates < 64 * 64 * 6
+        assert MUL_WIDTH_CAP <= 16
+
+    def test_invalid_graph_rejected_by_default(self):
+        from repro.ir import CircuitGraph, NodeType
+
+        g = CircuitGraph()
+        g.add_node(NodeType.NOT, 1)  # dangling parent
+        with pytest.raises(ValueError):
+            elaborate(g)
+
+    def test_check_can_be_skipped_for_subcircuits(self):
+        b = GraphBuilder("t")
+        a = b.input("a", 1)
+        b.output("y", b.not_(a))
+        g = b.build()
+        assert elaborate(g, check=False).num_gates == 1
+
+
+class TestParetoSweep:
+    def _design(self):
+        b = GraphBuilder("sweep")
+        a = b.input("a", 8)
+        r = b.reg("acc", 8)
+        b.drive_reg(r, b.add(a, r, width=8))
+        b.output("y", r)
+        return b.build()
+
+    def test_frontier_not_dominated(self):
+        results = pareto_sweep(self._design())
+        for x in results:
+            for y in results:
+                strictly_better = (
+                    y.area <= x.area and y.wns >= x.wns
+                    and (y.area < x.area or y.wns > x.wns)
+                )
+                assert not strictly_better
+
+    def test_default_periods_derived_from_critical_path(self):
+        results = pareto_sweep(self._design())
+        assert len({r.clock_period for r in results}) >= 1
+
+    def test_meets_timing_prefers_cheapest(self):
+        # At a very loose period every strength meets timing; X1 is cheapest.
+        results = pareto_sweep(self._design(), periods=[100.0])
+        assert results[0].strength == 1
+
+    def test_impossible_period_falls_back_to_fastest(self):
+        results = pareto_sweep(self._design(), periods=[1e-6])
+        assert results[0].strength == max((1, 2, 4))
+
+    def test_result_properties(self):
+        result = synthesize(self._design(), clock_period=1.0)
+        assert isinstance(result, SynthResult)
+        assert result.nvp == result.timing.nvp
+        assert result.register_slacks == result.timing.register_slacks

@@ -1,0 +1,226 @@
+"""Optimization pass tests: redundancy removal + behaviour preservation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import GraphBuilder, NodeType
+from repro.synth import elaborate, optimize
+from repro.synth.netlist import Gate, Netlist
+from repro.synth.simulate import drive_word, pack_word, simulate
+
+
+def _netlist_with(*gate_specs):
+    """Tiny hand-built netlist: inputs a, b; one output per spec result."""
+    nl = Netlist()
+    nl.ensure_consts()
+    a = nl.add_input("a[0]")
+    b = nl.add_input("b[0]")
+    env = {"a": a, "b": b, "c0": nl.const0, "c1": nl.const1}
+    for name, kind, ins in gate_specs:
+        env[name] = nl.add_gate(kind, *(env[i] for i in ins))
+    nl.add_output("y[0]", env[gate_specs[-1][0]])
+    return nl, env
+
+
+class TestConstantPropagation:
+    def test_and_with_zero_folds(self):
+        nl, _ = _netlist_with(("g", "AND", ("a", "c0")))
+        out, stats = optimize(nl)
+        assert out.num_gates == 0
+        assert out.primary_outputs[0][1] == out.const0
+
+    def test_and_with_one_aliases(self):
+        nl, env = _netlist_with(("g", "AND", ("a", "c1")))
+        out, _ = optimize(nl)
+        assert out.num_gates == 0
+        assert out.primary_outputs[0][1] == env["a"]
+
+    def test_xor_with_one_becomes_not(self):
+        nl, _ = _netlist_with(("g", "XOR", ("a", "c1")))
+        out, _ = optimize(nl)
+        assert [g.kind for g in out.gates] == ["NOT"]
+
+    def test_xor_self_is_zero(self):
+        nl, _ = _netlist_with(("g", "XOR", ("a", "a")))
+        out, _ = optimize(nl)
+        assert out.num_gates == 0
+        assert out.primary_outputs[0][1] == out.const0
+
+    def test_mux_const_select(self):
+        nl, env = _netlist_with(("g", "MUX", ("c1", "a", "b")))
+        out, _ = optimize(nl)
+        assert out.num_gates == 0
+        assert out.primary_outputs[0][1] == env["a"]
+
+    def test_mux_same_arms(self):
+        nl, env = _netlist_with(("g", "MUX", ("a", "b", "b")))
+        out, _ = optimize(nl)
+        assert out.primary_outputs[0][1] == env["b"]
+
+    def test_mux_one_zero_is_select(self):
+        nl, env = _netlist_with(("g", "MUX", ("a", "c1", "c0")))
+        out, _ = optimize(nl)
+        assert out.primary_outputs[0][1] == env["a"]
+
+    def test_chain_folds_through(self):
+        nl, _ = _netlist_with(
+            ("g1", "AND", ("a", "c0")),     # 0
+            ("g2", "OR", ("g1", "b")),       # b
+            ("g3", "XOR", ("g2", "g2")),     # 0
+            ("g4", "OR", ("g3", "a")),       # a
+        )
+        out, _ = optimize(nl)
+        assert out.num_gates == 0
+
+
+class TestStructuralHashing:
+    def test_duplicate_gates_merge(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        a = nl.add_input("a[0]")
+        b = nl.add_input("b[0]")
+        x1 = nl.add_gate("AND", a, b)
+        x2 = nl.add_gate("AND", b, a)  # commutative duplicate
+        y = nl.add_gate("XOR", x1, x2)  # XOR(x, x) -> 0 after merge
+        nl.add_output("y[0]", y)
+        out, _ = optimize(nl)
+        assert out.num_gates == 0
+        assert out.primary_outputs[0][1] == out.const0
+
+    def test_double_inversion_collapses(self):
+        nl, env = _netlist_with(
+            ("n1", "NOT", ("a",)),
+            ("n2", "NOT", ("n1",)),
+        )
+        out, _ = optimize(nl)
+        assert out.num_gates == 0
+        assert out.primary_outputs[0][1] == env["a"]
+
+
+class TestSequentialSweep:
+    def test_dff_with_constant_input_swept(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        q = nl.add_gate("DFF", nl.const1)
+        nl.add_output("y[0]", q)
+        out, _ = optimize(nl)
+        assert out.num_dffs == 0
+        assert out.primary_outputs[0][1] == out.const1
+
+    def test_dff_self_loop_swept_to_zero(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        d_net = nl.new_net()
+        nl.gates.append(Gate("DFF", (d_net,), d_net))  # Q feeds its own D
+        nl.add_output("y[0]", d_net)
+        out, _ = optimize(nl)
+        assert out.num_dffs == 0
+        assert out.primary_outputs[0][1] == out.const0
+
+    def test_unobserved_dff_removed(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        a = nl.add_input("a[0]")
+        nl.add_gate("DFF", a)  # feeds nothing
+        keep = nl.add_gate("NOT", a)
+        nl.add_output("y[0]", keep)
+        out, stats = optimize(nl)
+        assert out.num_dffs == 0
+        assert stats.dffs_before == 1
+
+    def test_live_dff_preserved(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        a = nl.add_input("a[0]")
+        q = nl.add_gate("DFF", a)
+        nl.add_output("y[0]", q)
+        out, _ = optimize(nl)
+        assert out.num_dffs == 1
+
+    def test_toggle_dff_not_swept(self):
+        # r <= NOT r toggles forever; must NOT be treated as constant.
+        nl = Netlist()
+        nl.ensure_consts()
+        q_net = nl.new_net()
+        inv = nl.add_gate("NOT", q_net)
+        nl.gates.append(Gate("DFF", (inv,), q_net))
+        nl.add_output("y[0]", q_net)
+        out, _ = optimize(nl)
+        assert out.num_dffs == 1
+
+    def test_merged_registers_share_dff(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        a = nl.add_input("a[0]")
+        q1 = nl.add_gate("DFF", a)
+        q2 = nl.add_gate("DFF", a)  # same next-state: merge
+        y = nl.add_gate("XOR", q1, q2)
+        nl.add_output("y[0]", y)
+        out, _ = optimize(nl)
+        assert out.num_dffs == 0  # XOR(q,q) collapses to 0 after the merge
+        assert out.primary_outputs[0][1] == out.const0
+
+    def test_dff_origin_tracks_survivors(self):
+        b = GraphBuilder("t")
+        a = b.input("a", 2)
+        live = b.reg("live", 2)
+        dead = b.reg("dead", 2)  # feeds nothing
+        b.drive_reg(live, a)
+        b.drive_reg(dead, a)
+        b.output("y", live)
+        raw = elaborate(b.build())
+        out, _ = optimize(raw)
+        surviving_regs = {origin[0] for origin in out.dff_origin.values()}
+        assert surviving_regs == {live}
+
+
+class TestBehaviourPreservation:
+    def _counter_graph(self):
+        b = GraphBuilder("counter")
+        en = b.input("en", 1)
+        one = b.const(1, 4)
+        count = b.reg("count", 4)
+        b.drive_reg(count, b.mux(en, b.add(count, one, width=4), count))
+        b.output("value", count)
+        return b.build()
+
+    def test_counter_behaviour_unchanged(self):
+        g = self._counter_graph()
+        raw = elaborate(g)
+        opt, stats = optimize(raw)
+        assert stats.gates_after <= stats.gates_before
+        stim = [drive_word(raw, "en_0", v) for v in (1, 1, 0, 1, 1, 0, 1)]
+        raw_out = [pack_word(o, "value_5") for o in simulate(raw, stim)]
+        opt_out = [pack_word(o, "value_5") for o in simulate(opt, stim)]
+        assert raw_out == opt_out
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        a_vals=st.lists(st.integers(0, 255), min_size=3, max_size=6),
+        b_vals=st.lists(st.integers(0, 255), min_size=3, max_size=6),
+    )
+    def test_random_datapath_equivalence(self, a_vals, b_vals):
+        """Property: optimization never changes primary-output behaviour."""
+        b = GraphBuilder("dp")
+        a = b.input("a", 8)
+        c = b.input("c", 8)
+        r = b.reg("r", 8)
+        t1 = b.add(a, c, width=8)
+        t2 = b.xor(t1, r)
+        t3 = b.and_(t2, a)
+        b.drive_reg(r, t3)
+        b.output("y", b.or_(r, t1))
+        g = b.build()
+        raw = elaborate(g)
+        opt, _ = optimize(raw)
+        cycles = min(len(a_vals), len(b_vals))
+        stim = [
+            {**drive_word(raw, "a_0", a_vals[i]), **drive_word(raw, "c_1", b_vals[i])}
+            for i in range(cycles)
+        ]
+        out_name = "y_7"
+        raw_out = [pack_word(o, out_name) for o in simulate(raw, stim)]
+        opt_out = [pack_word(o, out_name) for o in simulate(opt, stim)]
+        assert raw_out == opt_out

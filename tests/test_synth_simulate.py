@@ -1,0 +1,147 @@
+"""Tests for the netlist simulator (the verification substrate itself)."""
+
+import pytest
+
+from repro.synth.netlist import Gate, Netlist
+from repro.synth.simulate import drive_word, pack_word, simulate
+
+
+def _mux_netlist():
+    nl = Netlist()
+    nl.ensure_consts()
+    s = nl.add_input("s[0]")
+    a = nl.add_input("a[0]")
+    b = nl.add_input("b[0]")
+    y = nl.add_gate("MUX", s, a, b)
+    nl.add_output("y[0]", y)
+    return nl, (s, a, b)
+
+
+class TestCombinationalEvaluation:
+    def test_gate_truth_tables(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        a = nl.add_input("a[0]")
+        b = nl.add_input("b[0]")
+        outs = {
+            "and": nl.add_gate("AND", a, b),
+            "or": nl.add_gate("OR", a, b),
+            "xor": nl.add_gate("XOR", a, b),
+            "not": nl.add_gate("NOT", a),
+        }
+        for name, net in outs.items():
+            nl.add_output(f"{name}[0]", net)
+        for va in (False, True):
+            for vb in (False, True):
+                res = simulate(nl, [{a: va, b: vb}])[0]
+                assert res["and[0]"] == (va and vb)
+                assert res["or[0]"] == (va or vb)
+                assert res["xor[0]"] == (va != vb)
+                assert res["not[0]"] == (not va)
+
+    def test_mux(self):
+        nl, (s, a, b) = _mux_netlist()
+        assert simulate(nl, [{s: True, a: True, b: False}])[0]["y[0]"]
+        assert not simulate(nl, [{s: False, a: True, b: False}])[0]["y[0]"]
+
+    def test_consts_available(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        y = nl.add_gate("NOT", nl.const0)
+        nl.add_output("y[0]", y)
+        assert simulate(nl, [{}])[0]["y[0]"] is True
+
+    def test_missing_inputs_default_low(self):
+        nl, (s, a, b) = _mux_netlist()
+        out = simulate(nl, [{}])[0]
+        assert out["y[0]"] is False
+
+    def test_combinational_loop_rejected(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        x = nl.new_net()
+        y = nl.new_net()
+        nl.gates.append(Gate("NOT", (y,), x))
+        nl.gates.append(Gate("NOT", (x,), y))
+        nl.add_output("y[0]", y)
+        with pytest.raises(ValueError, match="combinational loop"):
+            simulate(nl, [{}])
+
+
+class TestSequentialEvaluation:
+    def test_dff_pipeline_depth(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        d = nl.add_input("d[0]")
+        q1 = nl.add_gate("DFF", d)
+        q2 = nl.add_gate("DFF", q1)
+        nl.add_output("q[0]", q2)
+        stim = [{d: v} for v in (True, False, False, False)]
+        outs = [o["q[0]"] for o in simulate(nl, stim)]
+        assert outs == [False, False, True, False]
+
+    def test_toggle_flop(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        q_net = nl.new_net()
+        inv = nl.add_gate("NOT", q_net)
+        nl.gates.append(Gate("DFF", (inv,), q_net))
+        nl.add_output("q[0]", q_net)
+        outs = [o["q[0]"] for o in simulate(nl, [{}] * 4)]
+        assert outs == [False, True, False, True]
+
+
+class TestWordHelpers:
+    def test_pack_and_drive_roundtrip(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        nets = [nl.add_input(f"word[{i}]") for i in range(4)]
+        for i, net in enumerate(nets):
+            nl.add_output(f"echo[{i}]", net)
+        stim = drive_word(nl, "word", 0b1010)
+        out = simulate(nl, [stim])[0]
+        assert pack_word(out, "echo") == 0b1010
+
+    def test_prefix_isolation(self):
+        # drive_word must not touch similarly-prefixed signals.
+        nl = Netlist()
+        nl.ensure_consts()
+        a = nl.add_input("ab[0]")
+        b = nl.add_input("a[0]")
+        stim = drive_word(nl, "a", 1)
+        assert b in stim and a not in stim
+
+
+class TestNetlistChecks:
+    def test_duplicate_driver_rejected(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        a = nl.add_input("a[0]")
+        y = nl.add_gate("NOT", a)
+        nl.gates.append(Gate("NOT", (a,), y))  # second driver for net y
+        with pytest.raises(ValueError, match="multiple drivers"):
+            nl.driver_map()
+
+    def test_undriven_input_detected(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        ghost = nl.new_net()
+        nl.add_gate("NOT", ghost)
+        with pytest.raises(ValueError, match="undriven"):
+            nl.check()
+
+    def test_gate_arity_validated(self):
+        with pytest.raises(ValueError):
+            Gate("AND", (1,), 2)
+        with pytest.raises(ValueError):
+            Gate("FROB", (1, 2), 3)
+
+    def test_gate_counts(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        a = nl.add_input("a[0]")
+        nl.add_gate("NOT", a)
+        nl.add_gate("NOT", a)
+        nl.add_gate("DFF", a)
+        counts = nl.gate_counts()
+        assert counts == {"NOT": 2, "DFF": 1}

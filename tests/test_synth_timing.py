@@ -1,0 +1,159 @@
+"""Tests for static timing analysis, area, and the synthesis flow."""
+
+import pytest
+
+from repro.ir import GraphBuilder
+from repro.synth import (
+    DEFAULT_LIBRARY,
+    CellLibrary,
+    analyze_timing,
+    elaborate,
+    pareto_sweep,
+    synthesize,
+    total_area,
+)
+from repro.synth.netlist import Netlist
+
+
+def _inverter_chain(length: int) -> Netlist:
+    nl = Netlist()
+    nl.ensure_consts()
+    net = nl.add_input("a[0]")
+    for _ in range(length):
+        net = nl.add_gate("NOT", net)
+    nl.add_output("y[0]", net)
+    return nl
+
+
+class TestLibrary:
+    def test_all_kinds_have_cells(self):
+        for kind in ("NOT", "AND", "OR", "XOR", "MUX", "DFF"):
+            assert DEFAULT_LIBRARY.cell(kind).area > 0
+
+    def test_drive_strengths_trade_area_for_delay(self):
+        x1 = DEFAULT_LIBRARY.cell("AND", 1)
+        x4 = DEFAULT_LIBRARY.cell("AND", 4)
+        assert x4.area > x1.area
+        assert x4.delay < x1.delay
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(KeyError):
+            DEFAULT_LIBRARY.cell("NAND3")
+
+    def test_custom_strengths(self):
+        lib = CellLibrary(strengths=(1, 2))
+        assert lib.cell("NOT", 2).name == "INV_X2"
+        with pytest.raises(KeyError):
+            lib.cell("NOT", 4)
+
+
+class TestTiming:
+    def test_chain_delay_additive(self):
+        nl = _inverter_chain(10)
+        report = analyze_timing(nl, clock_period=1.0)
+        inv_delay = DEFAULT_LIBRARY.cell("NOT").delay
+        assert report.critical_delay == pytest.approx(10 * inv_delay)
+
+    def test_slack_decreases_with_chain_length(self):
+        short = analyze_timing(_inverter_chain(2), 1.0)
+        long = analyze_timing(_inverter_chain(40), 1.0)
+        assert long.wns < short.wns
+
+    def test_negative_slack_when_period_too_tight(self):
+        nl = _inverter_chain(30)
+        delay = 30 * DEFAULT_LIBRARY.cell("NOT").delay
+        report = analyze_timing(nl, clock_period=delay / 2)
+        assert report.wns < 0
+        assert report.nvp >= 1
+        assert report.tns <= report.wns
+
+    def test_register_slack_per_rtl_register(self):
+        b = GraphBuilder("t")
+        a = b.input("a", 2)
+        r = b.reg("r", 2)
+        b.drive_reg(r, b.add(a, r, width=2))
+        b.output("y", r)
+        result = synthesize(b.build(), clock_period=2.0)
+        assert set(result.register_slacks) == {r}
+        assert result.register_slacks[r] < 2.0  # some logic before the reg
+
+    def test_dff_endpoints_include_setup(self):
+        nl = Netlist()
+        nl.ensure_consts()
+        a = nl.add_input("a[0]")
+        q = nl.add_gate("DFF", a)
+        nl.add_output("y[0]", q)
+        report = analyze_timing(nl, clock_period=1.0)
+        dff = DEFAULT_LIBRARY.cell("DFF")
+        # Two endpoints: the D pin (slack = T - setup - 0) and the primary
+        # output fed by Q (slack = T - clk_to_q).
+        assert sorted(report.endpoint_slacks) == pytest.approx(
+            sorted([1.0 - dff.setup, 1.0 - dff.clk_to_q])
+        )
+
+    def test_tns_per_violation(self):
+        nl = _inverter_chain(50)
+        report = analyze_timing(nl, clock_period=0.1)
+        assert report.tns_per_violation == pytest.approx(report.tns / report.nvp)
+        clean = analyze_timing(nl, clock_period=10.0)
+        assert clean.tns_per_violation == 0.0
+
+
+class TestArea:
+    def test_area_sums_cells(self):
+        nl = _inverter_chain(5)
+        inv = DEFAULT_LIBRARY.cell("NOT")
+        assert total_area(nl) == pytest.approx(5 * inv.area)
+
+    def test_higher_strength_bigger_area(self):
+        nl = _inverter_chain(5)
+        assert total_area(nl, strength=4) > total_area(nl, strength=1)
+
+
+class TestFlow:
+    def _design(self):
+        b = GraphBuilder("flowtest")
+        a = b.input("a", 8)
+        c = b.input("c", 8)
+        r = b.reg("acc", 8)
+        b.drive_reg(r, b.add(r, b.mul(a, c, width=8), width=8))
+        b.output("y", r)
+        return b.build()
+
+    def test_synthesize_produces_result(self):
+        result = synthesize(self._design(), clock_period=2.0)
+        assert result.area > 0
+        assert result.num_dffs == 8
+        assert result.scpr == pytest.approx(1.0)
+        assert result.pcs > 0
+
+    def test_scpr_reflects_swept_registers(self):
+        b = GraphBuilder("redundant")
+        a = b.input("a", 4)
+        live = b.reg("live", 4)
+        stuck = b.reg("stuck", 4)
+        b.drive_reg(live, b.xor(a, live))
+        b.drive_reg(stuck, stuck)        # never toggles: swept
+        b.output("y_live", live)
+        b.output("y_stuck", stuck)
+        result = synthesize(b.build(), clock_period=2.0)
+        assert result.num_dffs == 4
+        assert result.scpr == pytest.approx(0.5)
+
+    def test_no_optimization_keeps_gates(self):
+        raw = synthesize(self._design(), run_optimization=False)
+        opt = synthesize(self._design(), run_optimization=True)
+        assert raw.num_cells >= opt.num_cells
+
+    def test_pareto_sweep_monotone_tradeoff(self):
+        results = pareto_sweep(self._design())
+        assert results
+        # On the frontier, lower area must not come with better timing.
+        by_area = sorted(results, key=lambda r: r.area)
+        for first, second in zip(by_area, by_area[1:]):
+            if second.area > first.area:
+                assert second.wns >= first.wns - 1e-12
+
+    def test_pareto_sweep_custom_periods(self):
+        results = pareto_sweep(self._design(), periods=[0.2, 1.0, 5.0])
+        assert all(r.clock_period in (0.2, 1.0, 5.0) for r in results)
