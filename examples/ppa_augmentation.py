@@ -1,16 +1,16 @@
 """Data augmentation for ML-based RTL PPA prediction (the paper's Table III).
 
-Demonstrates the paper's headline application: a gradient-boosted PPA
-predictor trained on a small set of real designs improves when the
-training set is augmented with SynCircuit-generated pseudo-circuits.
+Demonstrates the paper's headline application through the session API: a
+gradient-boosted PPA predictor trained on a small set of real designs
+improves when the training set is augmented with SynCircuit-generated
+pseudo-circuits.  The fitted generator is cached in the session's
+artifact store, so re-running the experiment only pays for generation.
 
     python examples/ppa_augmentation.py
 """
 
+from repro.api import GenerateRequest, Session
 from repro.bench_designs import train_test_split
-from repro.diffusion import DiffusionConfig
-from repro.mcts import MCTSConfig
-from repro.pipeline import SynCircuit, SynCircuitConfig
 from repro.ppa import evaluate_augmentation, format_table
 
 
@@ -18,21 +18,24 @@ def main() -> None:
     train, test = train_test_split(seed=2025)
     print(f"{len(train)} real training designs, {len(test)} held-out designs")
 
-    config = SynCircuitConfig(
-        diffusion=DiffusionConfig(epochs=80, hidden=48, num_layers=4, seed=0),
-        mcts=MCTSConfig(num_simulations=40, max_depth=6, branching=5, seed=0),
-        degree_guidance=0.5,
-    )
-    pipeline = SynCircuit(config).fit(train)
+    session = Session(preset="fast", seed=0)
+    session.config.diffusion.epochs = 80
+    session.config.mcts.num_simulations = 40
+    session.config.mcts.max_depth = 6
+    session.config.mcts.branching = 5
+    session.fit(train)
+
     print("generating 10 pseudo-circuits (w/ and w/o MCTS optimization) ...")
-    records = pipeline.generate(10, num_nodes=(40, 60), optimize=True, seed=3)
+    result = session.generate_batch(GenerateRequest(
+        count=10, nodes=(40, 60), optimize=True, seed=3, workers=4,
+    ))
 
     rows = evaluate_augmentation(
         base_train=train,
         test=test,
         synthetic_sets={
-            "SynCircuit w/o opt": [r.g_val for r in records],
-            "SynCircuit w/ opt": [r.g_opt for r in records],
+            "SynCircuit w/o opt": [r.g_val for r in result.records],
+            "SynCircuit w/ opt": [r.g_opt for r in result.records],
         },
         clock_period=1.0,
         # Tight periods so WNS/TNS labels carry real violations.

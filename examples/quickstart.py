@@ -1,54 +1,57 @@
-"""Quickstart: train SynCircuit on real designs and emit new Verilog.
+"""Quickstart: train SynCircuit through the session API and emit Verilog.
 
 Runs the full three-phase pipeline at a small scale:
-  1. load the 22-design benchmark corpus and train the diffusion model,
-  2. generate three brand-new synthetic circuits,
+  1. open a Session (scenario preset + persistent artifact store) and
+     fit it on the 22-design benchmark corpus -- rerunning this script
+     hits the store and skips retraining entirely,
+  2. generate three brand-new synthetic circuits in parallel,
   3. MCTS-optimize their logic redundancy,
   4. print the synthesizable Verilog of the best one with its PPA report.
 
     python examples/quickstart.py
 """
 
-import numpy as np
-
-from repro.bench_designs import train_test_split
-from repro.diffusion import DiffusionConfig
+from repro.api import GenerateRequest, Session, SynthRequest
 from repro.hdl import generate_verilog
-from repro.mcts import MCTSConfig
-from repro.pipeline import SynCircuit, SynCircuitConfig
-from repro.synth import synthesize
 
 
 def main() -> None:
-    train, _ = train_test_split(seed=2025)
-    print(f"training on {len(train)} real designs "
-          f"({sum(g.num_nodes for g in train)} nodes total)")
-
-    config = SynCircuitConfig(
-        diffusion=DiffusionConfig(epochs=80, hidden=48, num_layers=4, seed=0),
-        mcts=MCTSConfig(num_simulations=40, max_depth=6, branching=5, seed=0),
-        degree_guidance=0.5,
+    session = Session(
+        preset="fast",
+        seed=0,
     )
-    pipeline = SynCircuit(config).fit(train, verbose=True)
+    # Overriding a couple of preset fields keeps the demo minutes-scale.
+    session.config.diffusion.epochs = 80
+    session.config.mcts.num_simulations = 40
+    session.config.mcts.max_depth = 6
+    session.config.mcts.branching = 5
+    session.config.mcts.clock_period = 1.0
 
-    records = pipeline.generate(3, num_nodes=(40, 60), optimize=True, seed=1)
+    print("fitting (cached in the artifact store after the first run) ...")
+    session.fit(verbose=True)
+
+    result = session.generate_batch(GenerateRequest(
+        count=3, nodes=(40, 60), optimize=True, seed=1,
+        workers=3, synth_period=1.0,
+    ))
+
     best = None
-    for rec in records:
-        val = synthesize(rec.g_val, clock_period=1.0)
-        opt = synthesize(rec.g_opt, clock_period=1.0)
+    for record, opt in zip(result.records, result.synth):
+        val = session.synth(SynthRequest(record.g_val, clock_period=1.0))
         print(
-            f"{rec.g_val.name}: {rec.g_val.num_nodes} nodes | "
+            f"{record.g_val.name}: {record.g_val.num_nodes} nodes | "
             f"SCPR {val.scpr:.2f} -> {opt.scpr:.2f} | "
             f"PCS {val.pcs:.2f} -> {opt.pcs:.2f} | "
             f"area {opt.area:.1f} um^2, WNS {opt.wns:+.3f} ns"
         )
         if best is None or opt.scpr > best[1].scpr:
-            best = (rec, opt)
+            best = (record, opt)
 
-    rec, report = best
-    print(f"\n--- Verilog for {rec.g_opt.name} "
+    record, report = best
+    graph = record.graph  # G_opt when optimization ran, else G_val
+    print(f"\n--- Verilog for {graph.name} "
           f"(SCPR {report.scpr:.2f}, {report.num_cells} cells) ---")
-    print(generate_verilog(rec.g_opt))
+    print(generate_verilog(graph))
 
 
 if __name__ == "__main__":

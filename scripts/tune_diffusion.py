@@ -1,7 +1,11 @@
 """Offline tuning sweep for the diffusion generator (not a test).
 
 Compares training budgets / negative-sampling ratios by the Table II
-structural metrics on the tinyrocket reference.  Run:
+structural metrics on the tinyrocket reference, through the session API:
+each variant is a preset override, every fitted generator lands in the
+artifact store (re-running the sweep is pure cache hits), and candidate
+circuits are produced with the parallel batch path.  Run:
+
     python scripts/tune_diffusion.py
 """
 
@@ -9,41 +13,45 @@ import time
 
 import numpy as np
 
+from repro.api import EvalRequest, GenerateRequest, Session, resolve_preset
 from repro.bench_designs import reference_designs, train_test_split
-from repro.diffusion import DiffusionConfig, sample_initial_graph, train_diffusion
-from repro.metrics import structural_similarity
-from repro.postprocess import refine_to_valid
 
 train, _ = train_test_split(seed=2025)
 reference = reference_designs()["tinyrocket_like"]
 
-configs = {
-    "e120_nr4": DiffusionConfig(epochs=120, hidden=48, num_layers=4, neg_ratio=4, seed=0),
-    "e300_nr8": DiffusionConfig(epochs=300, hidden=48, num_layers=4, neg_ratio=8, seed=0),
-    "e300_nr12_h64": DiffusionConfig(epochs=300, hidden=64, num_layers=5, neg_ratio=12, seed=0),
+variants = {
+    "e120_nr4": {"epochs": 120, "hidden": 48, "num_layers": 4, "neg_ratio": 4},
+    "e300_nr8": {"epochs": 300, "hidden": 48, "num_layers": 4, "neg_ratio": 8},
+    "e300_nr12_h64": {"epochs": 300, "hidden": 64, "num_layers": 5,
+                      "neg_ratio": 12},
 }
 
 real_density = reference.adjacency().mean()
 real_deg = reference.adjacency().sum(axis=1)
-print(f"reference: density={real_density:.4f} deg_mean={real_deg.mean():.2f} deg_max={real_deg.max()}")
+print(f"reference: density={real_density:.4f} "
+      f"deg_mean={real_deg.mean():.2f} deg_max={real_deg.max()}")
 
-for name, cfg in configs.items():
+for name, diffusion in variants.items():
+    config = resolve_preset("fast", seed=0, diffusion=diffusion)
+    session = Session(config=config)
     t0 = time.time()
-    trained = train_diffusion(train, cfg)
-    t_train = time.time() - t0
-    rng = np.random.default_rng(0)
-    graphs, densities, maxdegs = [], [], []
-    for _ in range(3):
-        res = sample_initial_graph(trained, reference.num_nodes, rng=rng)
-        densities.append(res.adjacency.mean())
-        g = refine_to_valid(res.types, res.widths, res.adjacency,
-                            res.edge_probability, rng=rng, degree_guidance=0.5)
-        maxdegs.append(g.adjacency().sum(axis=1).max())
-        graphs.append(g)
-    rep = structural_similarity(reference, graphs)
+    session.fit(train)
+    t_fit = time.time() - t0
+
+    result = session.generate_batch(GenerateRequest(
+        count=3, nodes=reference.num_nodes, optimize=False,
+        seed=0, workers=3,
+    ))
+    n = reference.num_nodes
+    gini_density = np.mean([r.initial_edges / (n * n) for r in result.records])
+    maxdegs = [
+        r.g_val.adjacency().sum(axis=1).max() for r in result.records
+    ]
+    rep = session.evaluate(EvalRequest(reference, result.graphs))
+    losses = session.engine.trained.losses
     print(
-        f"{name:16s} loss={trained.losses[-1]:.4f} train={t_train:.0f}s "
-        f"gini_density={np.mean(densities):.4f} gval_maxdeg={np.mean(maxdegs):.1f} "
+        f"{name:16s} loss={losses[-1]:.4f} fit={t_fit:.0f}s "
+        f"gini_density={gini_density:.4f} gval_maxdeg={np.mean(maxdegs):.1f} "
         f"w1_deg={rep.w1_out_degree:.3f} w1_clu={rep.w1_clustering:.3f} "
         f"w1_orb={rep.w1_orbit:.3f} tri={rep.ratio_triangle:.2f} "
         f"h={rep.ratio_homophily:.2f} h2={rep.ratio_homophily_two_hop:.2f}"

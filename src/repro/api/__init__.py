@@ -1,0 +1,46 @@
+"""Unified public API for the SynCircuit reproduction.
+
+Everything a caller needs lives here: sessions with a persistent
+artifact store, typed request/response objects with JSON round-trips,
+named scenario presets, and parallel batch generation.
+
+    from repro.api import Session, GenerateRequest
+
+    session = Session(preset="fast").fit()
+    result = session.generate_batch(
+        GenerateRequest(count=8, nodes=(40, 60), workers=4, seed=1)
+    )
+    for graph in result.graphs:
+        print(graph.name, graph.num_nodes)
+"""
+
+from .engine import GenerationRecord, SynCircuit, SynCircuitConfig
+from .presets import list_presets, resolve_preset
+from .requests import (
+    EvalRequest,
+    EvalResult,
+    GenerateRequest,
+    GenerateResult,
+    SynthRequest,
+    SynthSummary,
+)
+from .session import Session
+from .store import ArtifactStore, fingerprint, graphs_fingerprint
+
+__all__ = [
+    "ArtifactStore",
+    "EvalRequest",
+    "EvalResult",
+    "GenerateRequest",
+    "GenerateResult",
+    "GenerationRecord",
+    "Session",
+    "SynCircuit",
+    "SynCircuitConfig",
+    "SynthRequest",
+    "SynthSummary",
+    "fingerprint",
+    "graphs_fingerprint",
+    "list_presets",
+    "resolve_preset",
+]

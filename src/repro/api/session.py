@@ -1,0 +1,283 @@
+"""The unified entry point: cache-aware sessions over the SynCircuit engine.
+
+A :class:`Session` owns a persistent :class:`ArtifactStore` and a
+resolved :class:`SynCircuitConfig` (usually from a named preset).  It
+exposes the whole reproduction through typed requests:
+
+* :meth:`fit` -- train (or *load*, on a content-address hit) the
+  diffusion generator and reward model.  Identical config + training set
+  never retrains, across runs and across processes.
+* :meth:`generate` / :meth:`generate_batch` / :meth:`iter_generate` --
+  produce synthetic circuits.  Per-item seeds are derived with
+  ``np.random.SeedSequence(seed).spawn``, so the parallel fan-out is
+  bit-identical to the sequential path and any item can be recomputed
+  in isolation.
+* :meth:`synth` -- synthesis with store-backed memoization of the PPA
+  summary.
+* :meth:`evaluate` -- Table II structural similarity vs a reference.
+
+    from repro.api import Session
+
+    with Session(preset="fast") as session:
+        session.fit()
+        result = session.generate_batch(count=8, nodes=(40, 60), workers=4)
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterator
+
+import numpy as np
+
+from ..ir import CircuitGraph
+from .engine import GenerationRecord, SynCircuit, SynCircuitConfig
+from .presets import resolve_preset
+from .requests import (
+    EvalRequest,
+    EvalResult,
+    GenerateRequest,
+    GenerateResult,
+    SynthRequest,
+    SynthSummary,
+)
+from .store import ArtifactStore, graphs_fingerprint
+
+
+def _item_rngs(seed: int, count: int) -> list[np.random.Generator]:
+    """Independent, deterministic per-item generators.
+
+    ``SeedSequence.spawn`` keys depend only on (seed, index), never on
+    execution order -- the property that makes worker fan-out reproduce
+    the sequential path bit-for-bit.
+    """
+    return [
+        np.random.default_rng(child)
+        for child in np.random.SeedSequence(seed).spawn(count)
+    ]
+
+
+class Session:
+    """A configured, artifact-caching handle on the whole pipeline."""
+
+    def __init__(
+        self,
+        preset: str = "fast",
+        *,
+        config: SynCircuitConfig | None = None,
+        seed: int | None = None,
+        store: ArtifactStore | None = None,
+        cache_dir=None,
+        use_cache: bool = True,
+    ):
+        if config is not None:
+            self.config = config
+            if seed is not None:
+                # Same contract as resolve_preset(seed=...): one integer
+                # controls the whole scenario, nested configs included.
+                self.config.seed = seed
+                self.config.diffusion.seed = seed
+                self.config.mcts.seed = seed
+        else:
+            self.config = resolve_preset(preset, seed=seed)
+        self.preset = None if config is not None else preset
+        self.store = store or ArtifactStore(cache_dir)
+        self.use_cache = use_cache
+        self.engine = SynCircuit(self.config)
+        self._train_fingerprint: str | None = None
+
+    # -- context manager (no resources held; symmetry with services) ----
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        return None
+
+    # -- training --------------------------------------------------------
+    def fit(
+        self,
+        graphs: list[CircuitGraph] | None = None,
+        verbose: bool = False,
+    ) -> "Session":
+        """Fit on ``graphs`` (default: the corpus training split).
+
+        Content-addressed caching: the trained diffusion generator and
+        the PCS discriminator are keyed by their hyper-parameters plus a
+        fingerprint of the training set, so a second ``fit`` with an
+        identical scenario loads from the artifact store instead of
+        retraining -- even in a fresh process.
+        """
+        if graphs is None:
+            from ..bench_designs import train_test_split
+
+            graphs, _ = train_test_split(seed=2025)
+        fingerprint = graphs_fingerprint(graphs)
+        self._train_fingerprint = fingerprint
+
+        trained = None
+        if self.config.use_diffusion and self.use_cache:
+            diff_key = self.store.key("diffusion", {
+                "config": self.config.diffusion.__dict__,
+                "graphs": fingerprint,
+            })
+            trained = self.store.load_diffusion(diff_key)
+
+        reward_fn = None
+        if self.config.reward == "discriminator" and self.use_cache:
+            disc_key = self.store.key("discriminator", {
+                "clock_period": self.config.mcts.clock_period,
+                "perturbations": self.config.discriminator_perturbations,
+                "seed": self.config.seed,
+                "graphs": fingerprint,
+            })
+            reward_fn = self.store.load_discriminator(disc_key)
+
+        self.engine.fit(
+            graphs, verbose=verbose, trained=trained, reward_fn=reward_fn
+        )
+
+        if self.use_cache:
+            if self.config.use_diffusion and trained is None:
+                self.store.save_diffusion(diff_key, self.engine.trained)
+            if self.config.reward == "discriminator" and reward_fn is None:
+                self.store.save_discriminator(disc_key, self.engine._reward_fn)
+        return self
+
+    # -- generation ------------------------------------------------------
+    def _generate_item(
+        self,
+        index: int,
+        rng: np.random.Generator,
+        request: GenerateRequest,
+    ) -> GenerationRecord:
+        nodes = request.nodes
+        if isinstance(nodes, tuple):
+            n = int(rng.integers(nodes[0], nodes[1] + 1))
+        else:
+            n = int(nodes)
+        return self.engine.generate_one(
+            n, rng,
+            optimize=request.optimize,
+            name=f"{request.name_prefix}{index}",
+        )
+
+    def _finalize(
+        self,
+        records: list[GenerationRecord],
+        request: GenerateRequest,
+        started: float,
+    ) -> GenerateResult:
+        synth = None
+        if request.synth_period is not None:
+            synth = [
+                self.synth(SynthRequest(rec.graph, request.synth_period))
+                for rec in records
+            ]
+        return GenerateResult(
+            records=records,
+            request=request,
+            config=self.config,
+            synth=synth,
+            elapsed=time.perf_counter() - started,
+        )
+
+    def generate(
+        self, request: GenerateRequest | None = None, **kwargs
+    ) -> GenerateResult:
+        """Sequential generation (the reference path for determinism)."""
+        request = request or GenerateRequest(**kwargs)
+        started = time.perf_counter()
+        rngs = _item_rngs(request.seed, request.count)
+        records = [
+            self._generate_item(k, rngs[k], request)
+            for k in range(request.count)
+        ]
+        return self._finalize(records, request, started)
+
+    def generate_batch(
+        self, request: GenerateRequest | None = None, **kwargs
+    ) -> GenerateResult:
+        """Parallel fan-out over ``request.workers`` threads.
+
+        Per-item seed derivation makes the output bit-identical to
+        :meth:`generate` for the same request; only wall-clock changes.
+        """
+        request = request or GenerateRequest(**kwargs)
+        if request.workers <= 1:
+            return self.generate(request)
+        started = time.perf_counter()
+        rngs = _item_rngs(request.seed, request.count)
+        with ThreadPoolExecutor(max_workers=request.workers) as pool:
+            records = list(pool.map(
+                lambda k: self._generate_item(k, rngs[k], request),
+                range(request.count),
+            ))
+        return self._finalize(records, request, started)
+
+    def iter_generate(
+        self, request: GenerateRequest | None = None, **kwargs
+    ) -> Iterator[GenerationRecord]:
+        """Streaming variant: yield records in index order as they
+        complete, so consumers can pipeline without waiting for the
+        whole batch.  Same determinism guarantee as the batch path."""
+        request = request or GenerateRequest(**kwargs)
+        rngs = _item_rngs(request.seed, request.count)
+        if request.workers <= 1:
+            for k in range(request.count):
+                yield self._generate_item(k, rngs[k], request)
+            return
+        with ThreadPoolExecutor(max_workers=request.workers) as pool:
+            yield from pool.map(
+                lambda k: self._generate_item(k, rngs[k], request),
+                range(request.count),
+            )
+
+    # -- synthesis -------------------------------------------------------
+    def _resolve_design(self, design: str | CircuitGraph) -> CircuitGraph:
+        if isinstance(design, CircuitGraph):
+            return design
+        from ..bench_designs import load_design
+
+        return load_design(design)
+
+    def synth(
+        self, request: SynthRequest | str | CircuitGraph, **kwargs
+    ) -> SynthSummary:
+        """Synthesize a design; the PPA summary is memoized in the store."""
+        if not isinstance(request, SynthRequest):
+            request = SynthRequest(request, **kwargs)
+        graph = self._resolve_design(request.design)
+        key = self.store.key("synth", {
+            "graph": graph.to_dict(),
+            "clock_period": request.clock_period,
+        })
+        if self.use_cache:
+            cached = self.store.load_json(key)
+            if cached is not None:
+                return SynthSummary.from_dict(cached)
+        from ..synth import synthesize
+
+        result = synthesize(graph, clock_period=request.clock_period)
+        summary = SynthSummary.from_result(result, graph)
+        if self.use_cache:
+            self.store.save_json(key, summary.to_dict())
+        return summary
+
+    # -- evaluation ------------------------------------------------------
+    def evaluate(self, request: EvalRequest) -> EvalResult:
+        """Structural similarity of generated graphs vs a reference."""
+        from ..metrics import structural_similarity
+
+        reference = self._resolve_design(request.reference)
+        report = structural_similarity(reference, request.graphs)
+        return EvalResult(
+            reference=reference.name,
+            num_graphs=len(request.graphs),
+            w1_out_degree=float(report.w1_out_degree),
+            w1_clustering=float(report.w1_clustering),
+            w1_orbit=float(report.w1_orbit),
+            ratio_triangle=float(report.ratio_triangle),
+            ratio_homophily=float(report.ratio_homophily),
+            ratio_homophily_two_hop=float(report.ratio_homophily_two_hop),
+        )

@@ -1,12 +1,15 @@
-"""Command-line interface: generate, synthesize and inspect circuits.
+"""Command-line interface over :mod:`repro.api`.
 
-Usage (after ``pip install -e .``)::
+Usage (after ``pip install -e .``; ``repro`` and ``python -m repro``
+are equivalent)::
 
-    python -m repro.cli corpus                       # list the 22 designs
-    python -m repro.cli synth uart_tx --period 1.0   # PPA report
-    python -m repro.cli emit uart_tx -o uart_tx.v    # design -> Verilog
-    python -m repro.cli generate -n 5 --nodes 60 -o out_dir
-                                                     # train + generate
+    repro corpus                          # list the 22 designs
+    repro presets                         # list scenario presets
+    repro synth uart_tx --period 1.0      # PPA report (store-cached)
+    repro emit uart_tx -o uart_tx.v       # design -> Verilog
+    repro generate -n 5 --nodes 60 -o out_dir --workers 4
+                                          # fit (cached) + batch generate
+    repro cache --stats                   # inspect the artifact store
 """
 
 from __future__ import annotations
@@ -17,19 +20,46 @@ import pathlib
 import sys
 
 
-def _cmd_corpus(args: argparse.Namespace) -> int:
-    from .bench_designs import SPECS, load_design
-    from .synth import synthesize
+def _session(args: argparse.Namespace, config=None):
+    from .api import Session
 
+    return Session(
+        preset=getattr(args, "preset", "fast"),
+        config=config,
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_cache", False),
+    )
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    from .api import SynthRequest
+    from .bench_designs import SPECS, load_design
+
+    session = _session(args)
     print(f"{'name':<18s}{'family':<12s}{'nodes':>7s}{'edges':>7s}"
           f"{'regs':>6s}{'cells':>7s}{'scpr':>7s}")
     for spec in SPECS:
         g = load_design(spec.name)
-        result = synthesize(g, clock_period=args.period)
+        summary = session.synth(SynthRequest(g, clock_period=args.period))
         print(
             f"{spec.name:<18s}{spec.family:<12s}{g.num_nodes:>7d}"
             f"{g.num_edges:>7d}{len(g.registers()):>6d}"
-            f"{result.num_cells:>7d}{result.scpr:>7.2f}"
+            f"{summary.num_cells:>7d}{summary.scpr:>7.2f}"
+        )
+    return 0
+
+
+def _cmd_presets(args: argparse.Namespace) -> int:
+    from .api import list_presets, resolve_preset
+
+    print(f"{'preset':<18s}{'epochs':>7s}{'sims':>6s}{'reward':>15s}"
+          f"{'diff':>6s}  description")
+    for name, description in list_presets().items():
+        config = resolve_preset(name)
+        print(
+            f"{name:<18s}{config.diffusion.epochs:>7d}"
+            f"{config.mcts.num_simulations:>6d}{config.reward:>15s}"
+            f"{'yes' if config.use_diffusion else 'no':>6s}  {description}"
         )
     return 0
 
@@ -52,18 +82,19 @@ def _load_graph(source: str):
 
 
 def _cmd_synth(args: argparse.Namespace) -> int:
-    from .synth import synthesize
+    from .api import SynthRequest
 
     graph = _load_graph(args.design)
-    result = synthesize(graph, clock_period=args.period)
+    session = _session(args)
+    s = session.synth(SynthRequest(graph, clock_period=args.period))
     print(f"design:      {graph.name}")
-    print(f"rtl nodes:   {graph.num_nodes} ({graph.num_edges} edges)")
-    print(f"cells:       {result.num_cells}")
-    print(f"flip-flops:  {result.num_dffs} / {graph.total_register_bits()} "
-          f"bits (SCPR {result.scpr:.2f})")
-    print(f"area:        {result.area:.2f} um^2 (PCS {result.pcs:.3f})")
-    print(f"WNS:         {result.wns:+.3f} ns @ {args.period} ns")
-    print(f"TNS:         {result.tns:+.3f} ns over {result.nvp} paths")
+    print(f"rtl nodes:   {s.rtl_nodes} ({s.rtl_edges} edges)")
+    print(f"cells:       {s.num_cells}")
+    print(f"flip-flops:  {s.num_dffs} / {s.rtl_register_bits} "
+          f"bits (SCPR {s.scpr:.2f})")
+    print(f"area:        {s.area:.2f} um^2 (PCS {s.pcs:.3f})")
+    print(f"WNS:         {s.wns:+.3f} ns @ {args.period} ns")
+    print(f"TNS:         {s.tns:+.3f} ns over {s.nvp} paths")
     return 0
 
 
@@ -87,54 +118,73 @@ def _cmd_emit(args: argparse.Namespace) -> int:
 
 
 def _cmd_generate(args: argparse.Namespace) -> int:
-    from .bench_designs import train_test_split
-    from .diffusion import DiffusionConfig
+    from .api import GenerateRequest, resolve_preset
     from .hdl import generate_verilog
-    from .mcts import MCTSConfig
-    from .pipeline import SynCircuit, SynCircuitConfig
-    from .synth import synthesize
 
-    train, _ = train_test_split(seed=2025)
-    config = SynCircuitConfig(
-        diffusion=DiffusionConfig(
-            epochs=args.epochs, hidden=48, num_layers=4, neg_ratio=8, seed=args.seed
-        ),
-        mcts=MCTSConfig(
-            num_simulations=args.simulations, max_depth=8, branching=6,
-            clock_period=args.period, seed=args.seed,
-        ),
-        degree_guidance=0.5,
-        reward="synthesis",
+    diffusion = {}
+    mcts = {"clock_period": args.period}
+    if args.epochs is not None:
+        diffusion["epochs"] = args.epochs
+    if args.simulations is not None:
+        mcts["num_simulations"] = args.simulations
+    try:
+        config = resolve_preset(
+            args.preset, seed=args.seed, diffusion=diffusion, mcts=mcts
+        )
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    session = _session(args, config=config)
+
+    print(f"fitting preset {args.preset!r} "
+          f"({config.diffusion.epochs} epochs; artifact cache "
+          f"{'on' if session.use_cache else 'off'}) ...")
+    session.fit()
+    result = session.generate_batch(GenerateRequest(
+        count=args.count,
+        nodes=args.nodes,
+        optimize=not args.no_optimize,
         seed=args.seed,
-    )
-    print(f"training SynCircuit on {len(train)} designs "
-          f"({args.epochs} epochs) ...")
-    pipeline = SynCircuit(config).fit(train)
-    records = pipeline.generate(
-        args.count, num_nodes=args.nodes, optimize=not args.no_optimize,
-        seed=args.seed,
-    )
+        workers=args.workers,
+        synth_period=args.period,
+    ))
+
     out_dir = pathlib.Path(args.output)
     out_dir.mkdir(parents=True, exist_ok=True)
     manifest = []
-    for rec in records:
-        graph = rec.graph
-        result = synthesize(graph, clock_period=args.period)
+    # One synthesis summary per record, computed once by the session
+    # (and store-cached) -- reused for both the manifest and the log.
+    for graph, summary in zip(result.graphs, result.synth):
         (out_dir / f"{graph.name}.v").write_text(generate_verilog(graph))
         (out_dir / f"{graph.name}.json").write_text(graph.to_json())
         manifest.append({
             "name": graph.name,
             "nodes": graph.num_nodes,
             "edges": graph.num_edges,
-            "cells": result.num_cells,
-            "area": result.area,
-            "wns": result.wns,
-            "scpr": result.scpr,
+            "cells": summary.num_cells,
+            "area": summary.area,
+            "wns": summary.wns,
+            "scpr": summary.scpr,
         })
         print(f"  {graph.name}: {graph.num_nodes} nodes, "
-              f"SCPR {result.scpr:.2f}, area {result.area:.1f}")
+              f"SCPR {summary.scpr:.2f}, area {summary.area:.1f}")
     (out_dir / "manifest.json").write_text(json.dumps(manifest, indent=2))
-    print(f"wrote {len(records)} circuits to {out_dir}/")
+    print(f"wrote {len(result.records)} circuits to {out_dir}/ "
+          f"in {result.elapsed:.1f}s ({args.workers} workers)")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    from .api import ArtifactStore
+
+    store = ArtifactStore(args.cache_dir)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} artifacts from {store.root}")
+        return 0
+    stats = store.stats()
+    print(f"store:   {stats['root']}")
+    print(f"entries: {stats['entries']}")
+    print(f"bytes:   {stats['bytes']}")
     return 0
 
 
@@ -142,11 +192,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="SynCircuit reproduction CLI"
     )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="artifact store location (default: $REPRO_CACHE_DIR "
+             "or ~/.cache/repro)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the artifact store entirely",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_corpus = sub.add_parser("corpus", help="list the 22-design corpus")
     p_corpus.add_argument("--period", type=float, default=1.0)
     p_corpus.set_defaults(func=_cmd_corpus)
+
+    p_presets = sub.add_parser("presets", help="list scenario presets")
+    p_presets.set_defaults(func=_cmd_presets)
 
     p_synth = sub.add_parser("synth", help="synthesize a design and report PPA")
     p_synth.add_argument("design", help="corpus name, .v file or .json file")
@@ -166,13 +228,40 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen = sub.add_parser("generate", help="generate synthetic circuits")
     p_gen.add_argument("-n", "--count", type=int, default=5)
     p_gen.add_argument("--nodes", type=int, default=60)
-    p_gen.add_argument("--epochs", type=int, default=120)
-    p_gen.add_argument("--simulations", type=int, default=60)
+    p_gen.add_argument(
+        "--preset", default="fast",
+        help="scenario preset (see `repro presets`)",
+    )
+    p_gen.add_argument(
+        "--epochs", type=int, default=None,
+        help="override the preset's diffusion epochs",
+    )
+    p_gen.add_argument(
+        "--simulations", type=int, default=None,
+        help="override the preset's MCTS simulation budget",
+    )
+    p_gen.add_argument(
+        "--workers", type=int, default=1,
+        help="parallel generation workers (bit-identical to sequential)",
+    )
     p_gen.add_argument("--period", type=float, default=1.0)
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("--no-optimize", action="store_true")
     p_gen.add_argument("-o", "--output", default="generated")
     p_gen.set_defaults(func=_cmd_generate)
+
+    p_cache = sub.add_parser("cache", help="inspect the artifact store")
+    # SUPPRESS: when omitted here, keep the value parsed from the global
+    # --cache-dir instead of clobbering it with a subparser default.
+    p_cache.add_argument(
+        "--cache-dir", default=argparse.SUPPRESS,
+        help="artifact store location (also accepted before the command)",
+    )
+    p_cache.add_argument("--stats", action="store_true",
+                         help="print store statistics (default)")
+    p_cache.add_argument("--clear", action="store_true",
+                         help="delete all stored artifacts")
+    p_cache.set_defaults(func=_cmd_cache)
     return parser
 
 

@@ -12,6 +12,8 @@ here behind one callable protocol: ``reward(graph, cone) -> float``.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from ..ir import CircuitGraph, NUM_TYPES, NodeType, is_sequential
@@ -25,9 +27,13 @@ class SynthesisReward:
     def __init__(self, clock_period: float = 2.0):
         self.clock_period = clock_period
         self.calls = 0
+        # A session's generate_batch shares one reward across worker
+        # threads; the lock keeps the call counter exact.
+        self._lock = threading.Lock()
 
     def __call__(self, graph: CircuitGraph, cone: Cone | None = None) -> float:
-        self.calls += 1
+        with self._lock:
+            self.calls += 1
         result = synthesize(graph, clock_period=self.clock_period, check=False)
         return result.pcs
 

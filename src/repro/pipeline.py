@@ -1,175 +1,36 @@
-"""End-to-end SynCircuit pipeline: P(G) -> G_ini -> G_val -> G_opt.
+"""Deprecated shim: the pipeline moved to :mod:`repro.api`.
 
-This is the library's main entry point.  ``SynCircuit.fit`` trains the
-Phase 1 diffusion model (and optionally the Phase 3 PCS discriminator) on
-real circuit graphs; ``generate`` then produces any number of new valid
-synthetic circuits, optionally running the MCTS redundancy optimization.
+``SynCircuit``, ``SynCircuitConfig`` and ``GenerationRecord`` now live in
+``repro.api`` (engine: ``repro.api.engine``); the session layer there
+adds artifact caching, presets and parallel batch generation.  Importing
+them from ``repro.pipeline`` keeps working but emits a
+``DeprecationWarning``.  New code should write::
 
-The ``use_diffusion=False`` switch reproduces the paper's "SynCircuit
-w/o diff" ablation: G_ini and P_E are replaced by random edges at the
-training-set density while the rest of the pipeline is unchanged.
+    from repro.api import Session, SynCircuit, SynCircuitConfig
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
-import numpy as np
+_MOVED = ("SynCircuit", "SynCircuitConfig", "GenerationRecord")
 
-from .diffusion import (
-    AttributeSampler,
-    DiffusionConfig,
-    TrainedDiffusion,
-    sample_initial_graph,
-    train_diffusion,
-)
-from .ir import CircuitGraph
-from .mcts import (
-    MCTSConfig,
-    SynthesisReward,
-    optimize_registers,
-    train_discriminator,
-)
-from .postprocess import refine_to_valid
+__all__ = list(_MOVED)
 
 
-@dataclass
-class SynCircuitConfig:
-    """Pipeline-wide configuration with the paper's defaults."""
-
-    diffusion: DiffusionConfig = field(default_factory=DiffusionConfig)
-    mcts: MCTSConfig = field(default_factory=MCTSConfig)
-    degree_guidance: float = 0.25
-    use_diffusion: bool = True       # False: the "w/o diff" ablation
-    reward: str = "discriminator"    # "discriminator" | "synthesis"
-    discriminator_perturbations: int = 12
-    seed: int = 0
-
-
-@dataclass
-class GenerationRecord:
-    """All intermediate artefacts of generating one synthetic circuit."""
-
-    g_val: CircuitGraph
-    g_opt: CircuitGraph | None
-    initial_edges: int
-    refined_edges: int
-
-    @property
-    def graph(self) -> CircuitGraph:
-        """The final artefact: G_opt when optimization ran, else G_val."""
-        return self.g_opt if self.g_opt is not None else self.g_val
-
-
-class SynCircuit:
-    """The three-phase synthetic circuit generator."""
-
-    def __init__(self, config: SynCircuitConfig | None = None):
-        self.config = config or SynCircuitConfig()
-        self.trained: TrainedDiffusion | None = None
-        self.attributes: AttributeSampler | None = None
-        self._edges_per_node: float = 1.5
-        self._reward_fn = None
-
-    # ------------------------------------------------------------------
-    def fit(self, graphs: list[CircuitGraph], verbose: bool = False) -> "SynCircuit":
-        """Learn P(G | V, X) from real designs (and the PCS reward model)."""
-        if not graphs:
-            raise ValueError("need at least one training graph")
-        self.attributes = AttributeSampler(graphs)
-        self._edges_per_node = float(
-            np.mean([g.num_edges / max(g.num_nodes, 1) for g in graphs])
+def __getattr__(name: str):
+    if name in _MOVED:
+        warnings.warn(
+            f"repro.pipeline.{name} is deprecated; import it from "
+            "repro.api instead",
+            DeprecationWarning,
+            stacklevel=2,
         )
-        if self.config.use_diffusion:
-            self.trained = train_diffusion(
-                graphs, self.config.diffusion, verbose=verbose
-            )
-        if self.config.reward == "discriminator":
-            self._reward_fn = train_discriminator(
-                graphs,
-                clock_period=self.config.mcts.clock_period,
-                perturbations=self.config.discriminator_perturbations,
-                seed=self.config.seed,
-            )
-        else:
-            self._reward_fn = SynthesisReward(self.config.mcts.clock_period)
-        return self
+        from . import api
 
-    # ------------------------------------------------------------------
-    def generate_one(
-        self,
-        num_nodes: int,
-        rng: np.random.Generator,
-        optimize: bool = True,
-        name: str = "synthetic",
-    ) -> GenerationRecord:
-        """Run the three phases for a single circuit."""
-        self._check_fitted()
-        if self.config.use_diffusion:
-            assert self.trained is not None
-            sample = sample_initial_graph(self.trained, num_nodes, rng=rng)
-            types, widths = sample.types, sample.widths
-            adjacency, probability = sample.adjacency, sample.edge_probability
-        else:
-            # Ablation: random G_ini and uniform-random P_E at the real
-            # designs' edge density (size-adaptive, as in the full model),
-            # then the identical post-processing.
-            assert self.attributes is not None
-            types, widths = self.attributes.sample(num_nodes, rng)
-            density = np.clip(
-                self._edges_per_node / max(num_nodes, 2), 1e-4, 0.5
-            )
-            adjacency = rng.random((num_nodes, num_nodes)) < density
-            probability = rng.random((num_nodes, num_nodes))
+        return getattr(api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
-        g_val = refine_to_valid(
-            types, widths, adjacency, probability,
-            name=name, rng=rng,
-            degree_guidance=self.config.degree_guidance,
-        )
-        g_opt = None
-        if optimize:
-            report = optimize_registers(
-                g_val, reward_fn=self._reward_fn, config=self.config.mcts
-            )
-            g_opt = report.graph
-            g_opt.name = f"{name}_opt"
-        return GenerationRecord(
-            g_val=g_val,
-            g_opt=g_opt,
-            initial_edges=int(np.asarray(adjacency).sum()),
-            refined_edges=g_val.num_edges,
-        )
 
-    def generate(
-        self,
-        num_circuits: int,
-        num_nodes: int | tuple[int, int],
-        optimize: bool = True,
-        seed: int | None = None,
-        name_prefix: str = "syn",
-    ) -> list[GenerationRecord]:
-        """Generate a dataset of synthetic circuits.
-
-        ``num_nodes`` is either a fixed size or an inclusive (low, high)
-        range sampled per circuit.
-        """
-        self._check_fitted()
-        rng = np.random.default_rng(self.config.seed if seed is None else seed)
-        records = []
-        for k in range(num_circuits):
-            if isinstance(num_nodes, tuple):
-                n = int(rng.integers(num_nodes[0], num_nodes[1] + 1))
-            else:
-                n = int(num_nodes)
-            records.append(
-                self.generate_one(
-                    n, rng, optimize=optimize, name=f"{name_prefix}{k}"
-                )
-            )
-        return records
-
-    # ------------------------------------------------------------------
-    def _check_fitted(self) -> None:
-        if self.attributes is None:
-            raise RuntimeError("call fit() before generate()")
+def __dir__():
+    return sorted(__all__)

@@ -1,0 +1,15 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def _isolated_artifact_store(tmp_path, monkeypatch):
+    """Point the default artifact store at a per-test directory.
+
+    Without this, tests that construct a Session (directly or through
+    the CLI) without an explicit cache dir would read from and write to
+    the developer's real ~/.cache/repro -- and stale cached artifacts
+    could mask regressions in the code under test.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "artifact-store"))

@@ -1,6 +1,10 @@
 """Tests for the command-line interface."""
 
 import json
+import os
+import pathlib
+import subprocess
+import sys
 
 import pytest
 
@@ -16,6 +20,14 @@ class TestParser:
         args = build_parser().parse_args(["generate"])
         assert args.count == 5
         assert args.nodes == 60
+
+    def test_global_cache_dir_survives_cache_subcommand(self):
+        # The cache subparser's own --cache-dir must not clobber a value
+        # given before the subcommand.
+        args = build_parser().parse_args(["--cache-dir", "/tmp/x", "cache"])
+        assert args.cache_dir == "/tmp/x"
+        args = build_parser().parse_args(["cache", "--cache-dir", "/tmp/y"])
+        assert args.cache_dir == "/tmp/y"
 
 
 class TestCommands:
@@ -56,6 +68,7 @@ class TestCommands:
     def test_generate_writes_bundle(self, tmp_path, capsys):
         out = tmp_path / "gen"
         code = main([
+            "--cache-dir", str(tmp_path / "store"),
             "generate", "-n", "2", "--nodes", "25",
             "--epochs", "6", "--simulations", "5",
             "--no-optimize", "-o", str(out),
@@ -66,3 +79,55 @@ class TestCommands:
         for entry in manifest:
             assert (out / f"{entry['name']}.v").exists()
             assert (out / f"{entry['name']}.json").exists()
+
+    def test_generate_parallel_matches_sequential(self, tmp_path):
+        outputs = {}
+        for workers, label in [("1", "seq"), ("4", "par")]:
+            out = tmp_path / label
+            assert main([
+                "--cache-dir", str(tmp_path / "store"),
+                "generate", "-n", "3", "--nodes", "22",
+                "--preset", "smoke", "--workers", workers,
+                "--no-optimize", "-o", str(out),
+            ]) == 0
+            outputs[label] = sorted(
+                p.read_text() for p in out.glob("*.json")
+            )
+        assert outputs["seq"] == outputs["par"]
+
+    def test_presets_command(self, capsys):
+        assert main(["presets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("fast", "paper", "smoke", "ablation-no-diff"):
+            assert name in out
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        store = tmp_path / "store"
+        assert main([
+            "--cache-dir", str(store), "synth", "pwm",
+        ]) == 0
+        capsys.readouterr()
+        assert main(["cache", "--cache-dir", str(store)]) == 0
+        assert "entries: 1" in capsys.readouterr().out
+        assert main(["cache", "--cache-dir", str(store), "--clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out
+
+
+class TestEntryPoints:
+    def test_python_dash_m_repro(self):
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(repo / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "presets"],
+            capture_output=True, text=True, env=env,
+        )
+        assert proc.returncode == 0
+        assert "fast" in proc.stdout
+
+    def test_console_script_declared(self):
+        repo = pathlib.Path(__file__).resolve().parent.parent
+        assert "repro=repro.cli:main" in (repo / "setup.py").read_text()
