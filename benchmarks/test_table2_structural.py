@@ -7,6 +7,8 @@ distributions (lower better) and expectation ratios of triangle count,
 h^(A,Y) and h^(A^2,Y) (closer to 1 better).
 """
 
+import zlib
+
 import numpy as np
 
 from repro.metrics import structural_similarity
@@ -14,6 +16,14 @@ from repro.metrics import structural_similarity
 from conftest import write_result
 
 SAMPLES_PER_MODEL = 4
+
+
+def _model_seed(model_name: str) -> int:
+    """Stable per-model seed.  ``hash()`` is salted per process, which
+    made every run regenerate results/table2_structural.txt with
+    different numbers -- exactly the silent drift the golden tests in
+    tests/test_results_golden.py now reject."""
+    return zlib.crc32(model_name.encode()) % 1000
 
 
 def _generate_set(generate, num_nodes: int, seed: int):
@@ -44,7 +54,8 @@ def test_table2_structural_similarity(
     for model_name, generate in generators.items():
         results[model_name] = {}
         for ref_name, ref in references.items():
-            graphs = _generate_set(generate, ref.num_nodes, seed=hash(model_name) % 1000)
+            graphs = _generate_set(generate, ref.num_nodes,
+                                   seed=_model_seed(model_name))
             report = structural_similarity(ref, graphs)
             results[model_name][ref_name] = report.as_row()
 

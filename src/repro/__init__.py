@@ -13,7 +13,7 @@ __version__ = "0.2.0"
 from .ir import CircuitGraph, GraphBuilder, NodeType  # noqa: F401
 
 _API_NAMES = {
-    "ArtifactStore", "EvalRequest", "EvalResult", "GenerateRequest",
+    "ArtifactStore", "BenchRequest", "EvalRequest", "EvalResult", "GenerateRequest",
     "GenerateResult", "GenerationRecord", "Session", "SynCircuit",
     "SynCircuitConfig", "SynthRequest", "SynthSummary", "list_presets",
     "resolve_preset",

@@ -17,6 +17,7 @@ named scenario presets, and parallel batch generation.
 from .engine import GenerationRecord, SynCircuit, SynCircuitConfig
 from .presets import list_presets, resolve_preset
 from .requests import (
+    BenchRequest,
     EvalRequest,
     EvalResult,
     GenerateRequest,
@@ -29,6 +30,7 @@ from .store import ArtifactStore, fingerprint, graphs_fingerprint
 
 __all__ = [
     "ArtifactStore",
+    "BenchRequest",
     "EvalRequest",
     "EvalResult",
     "GenerateRequest",

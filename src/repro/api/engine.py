@@ -21,6 +21,7 @@ training-set density while the rest of the pipeline is unchanged.
 from __future__ import annotations
 
 import dataclasses
+import time
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -69,12 +70,18 @@ class SynCircuitConfig:
 
 @dataclass
 class GenerationRecord:
-    """All intermediate artefacts of generating one synthetic circuit."""
+    """All intermediate artefacts of generating one synthetic circuit.
+
+    ``timings`` holds per-phase wall seconds (``sample`` / ``refine`` /
+    ``optimize``), the breakdown the ``repro bench`` e2e scenario and any
+    service-side latency accounting read.
+    """
 
     g_val: CircuitGraph
     g_opt: CircuitGraph | None
     initial_edges: int
     refined_edges: int
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def graph(self) -> CircuitGraph:
@@ -88,6 +95,7 @@ class GenerationRecord:
             "g_opt": None if self.g_opt is None else self.g_opt.to_dict(),
             "initial_edges": self.initial_edges,
             "refined_edges": self.refined_edges,
+            "timings": dict(self.timings),
         }
 
     @classmethod
@@ -100,6 +108,10 @@ class GenerationRecord:
             ),
             initial_edges=int(data["initial_edges"]),
             refined_edges=int(data["refined_edges"]),
+            timings={
+                str(phase): float(seconds)
+                for phase, seconds in data.get("timings", {}).items()
+            },
         )
 
 
@@ -168,6 +180,8 @@ class SynCircuit:
     ) -> GenerationRecord:
         """Run the three phases for a single circuit."""
         self._check_fitted()
+        timings: dict[str, float] = {}
+        started = time.perf_counter()
         if self.config.use_diffusion:
             assert self.trained is not None
             sample = sample_initial_graph(self.trained, num_nodes, rng=rng)
@@ -184,24 +198,30 @@ class SynCircuit:
             )
             adjacency = rng.random((num_nodes, num_nodes)) < density
             probability = rng.random((num_nodes, num_nodes))
+        timings["sample"] = time.perf_counter() - started
 
+        started = time.perf_counter()
         g_val = refine_to_valid(
             types, widths, adjacency, probability,
             name=name, rng=rng,
             degree_guidance=self.config.degree_guidance,
         )
+        timings["refine"] = time.perf_counter() - started
         g_opt = None
         if optimize:
+            started = time.perf_counter()
             report = optimize_registers(
                 g_val, reward_fn=self._reward_fn, config=self.config.mcts
             )
             g_opt = report.graph
             g_opt.name = f"{name}_opt"
+            timings["optimize"] = time.perf_counter() - started
         return GenerationRecord(
             g_val=g_val,
             g_opt=g_opt,
             initial_edges=int(np.asarray(adjacency).sum()),
             refined_edges=g_val.num_edges,
+            timings=timings,
         )
 
     def generate(

@@ -44,6 +44,15 @@ def _smoke() -> SynCircuitConfig:
     )
 
 
+def _bench() -> SynCircuitConfig:
+    return SynCircuitConfig(
+        diffusion=DiffusionConfig(epochs=10, hidden=16, num_layers=2),
+        mcts=MCTSConfig(num_simulations=12, max_depth=4, branching=4),
+        degree_guidance=0.5,
+        reward="synthesis",
+    )
+
+
 def _ablation_no_diff() -> SynCircuitConfig:
     config = _paper()
     config.use_diffusion = False
@@ -62,6 +71,9 @@ _PRESETS: dict[str, tuple[Callable[[], SynCircuitConfig], str]] = {
     "fast": (_fast, "CPU-friendly scale (the old CLI defaults): smaller "
                     "denoiser, 60 simulations, exact synthesis reward."),
     "smoke": (_smoke, "Minutes-scale budget for tests and demos."),
+    "bench": (_bench, "Perf-measurement scenario for `repro bench`: "
+                      "smoke-scale training with a search budget large "
+                      "enough that hot paths dominate the timing."),
     "ablation-no-diff": (_ablation_no_diff,
                          "Paper's 'w/o diff' ablation: random G_ini at "
                          "training density instead of diffusion."),

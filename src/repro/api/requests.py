@@ -202,6 +202,37 @@ class SynthRequest:
 
 # ---------------------------------------------------------------------------
 @dataclass
+class BenchRequest:
+    """One benchmark-suite run (see :mod:`repro.bench`).
+
+    ``filter`` keeps only benchmarks whose name contains the substring;
+    ``output`` (if set) is where the ``BENCH_<suite>.json`` report is
+    written.  The scenario itself (model sizes, search budgets) comes
+    from the session's config, so the same request measures any preset.
+    """
+
+    repeats: int = 3
+    warmup: int = 1
+    seed: int = 0
+    filter: str | None = None
+    output: str | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "repeats": self.repeats,
+            "warmup": self.warmup,
+            "seed": self.seed,
+            "filter": self.filter,
+            "output": self.output,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "BenchRequest":
+        return cls(**data)
+
+
+# ---------------------------------------------------------------------------
+@dataclass
 class EvalRequest:
     """Structural-similarity evaluation of generated circuits vs a
     reference design (the paper's Table II protocol)."""

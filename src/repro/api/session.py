@@ -35,6 +35,7 @@ from ..ir import CircuitGraph
 from .engine import GenerationRecord, SynCircuit, SynCircuitConfig
 from .presets import resolve_preset
 from .requests import (
+    BenchRequest,
     EvalRequest,
     EvalResult,
     GenerateRequest,
@@ -263,6 +264,30 @@ class Session:
         if self.use_cache:
             self.store.save_json(key, summary.to_dict())
         return summary
+
+    # -- benchmarking ----------------------------------------------------
+    def bench(self, request: BenchRequest | None = None, **kwargs):
+        """Run the standard microbenchmark suite under this session's
+        scenario config and return a :class:`repro.bench.BenchReport`.
+
+        The suite is named after the session's preset (``BENCH_smoke.json``
+        for ``preset="smoke"``); ``request.output`` additionally writes
+        the report to disk.
+        """
+        from ..bench import run_suite
+
+        request = request or BenchRequest(**kwargs)
+        report = run_suite(
+            config=self.config,
+            suite=self.preset or "custom",
+            seed=request.seed,
+            repeats=request.repeats,
+            warmup=request.warmup,
+            filter_pattern=request.filter,
+        )
+        if request.output:
+            report.write(request.output)
+        return report
 
     # -- evaluation ------------------------------------------------------
     def evaluate(self, request: EvalRequest) -> EvalResult:

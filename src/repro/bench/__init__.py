@@ -1,0 +1,39 @@
+"""Performance measurement subsystem: seeded microbenchmarks with a
+machine-readable trajectory.
+
+``repro bench --preset smoke`` (or ``Session.bench()``) runs the
+standard suite over the stack's hot paths and writes ``BENCH_<suite>.json``
+-- wall times, per-op throughput, scenario-config fingerprint and git
+revision -- so every PR's perf impact is a diffable number instead of a
+guess.  ``compare`` gates CI on the committed baseline.
+
+    from repro.bench import run_suite, compare, BenchReport
+
+    report = run_suite(preset="smoke")
+    report.write("BENCH_smoke.json")
+    regressions = compare(report, BenchReport.load("BENCH_smoke.json"))
+"""
+
+from .core import Benchmark, BenchRecord, run_benchmark
+from .report import (
+    SCHEMA_VERSION,
+    BenchReport,
+    Regression,
+    compare,
+    git_revision,
+)
+from .suites import SIM_CYCLES, build_suite, run_suite
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SIM_CYCLES",
+    "BenchRecord",
+    "BenchReport",
+    "Benchmark",
+    "Regression",
+    "build_suite",
+    "compare",
+    "git_revision",
+    "run_benchmark",
+    "run_suite",
+]

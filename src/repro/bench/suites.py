@@ -1,0 +1,260 @@
+"""The standard microbenchmark suite: every hot path the ROADMAP cares
+about, scaled by a scenario preset.
+
+Workloads are fixed and seeded -- two runs of the same suite on the same
+revision measure the same computation -- and setup (model training,
+elaboration, stimulus packing) is excluded from timing.  The suite
+deliberately spans the whole stack:
+
+* ``simulate.*``       -- netlist simulation backends, largest corpus design
+* ``cone.batch_eval``  -- batched packed-stimulus cone evaluation
+* ``mcts.optimize``    -- the Phase 3 search loop (reward = synthesis)
+* ``diffusion.sample`` -- Phase 1 reverse denoising
+* ``metrics.structural`` -- Table II structural-similarity metrics
+* ``e2e.generate``     -- one full Session.generate (all three phases)
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from .core import Benchmark, run_benchmark
+from .report import BenchReport
+
+#: Stimulus length for the simulation benchmarks (one packed word block).
+SIM_CYCLES = 64
+
+
+def _largest_design():
+    """The corpus design with the most elaborated gates (the acceptance
+    criterion's "largest bench design")."""
+    from ..bench_designs import SPECS, load_design
+    from ..synth import elaborate
+
+    best_name, best_netlist = None, None
+    for spec in SPECS:
+        netlist = elaborate(load_design(spec.name), check=False)
+        if best_netlist is None or netlist.num_gates > best_netlist.num_gates:
+            best_name, best_netlist = spec.name, netlist
+    return best_name, best_netlist
+
+
+def _sim_workload():
+    name, netlist = _largest_design()
+    rng = np.random.default_rng(0)
+    nets = [net for _, net in netlist.primary_inputs]
+    stimulus = [
+        {net: bool(rng.integers(0, 2)) for net in nets}
+        for _ in range(SIM_CYCLES)
+    ]
+    return name, netlist, stimulus
+
+
+def _swap_candidates(graph, register, rng, count):
+    """A chain of valid swap successors of ``graph`` around one cone."""
+    from ..mcts import apply_swap, driving_cone, sample_swaps
+
+    cone = driving_cone(graph, register)
+    anchor = [cone.register, *cone.interior]
+    candidates = [graph]
+    state = graph
+    attempts = 0
+    while len(candidates) < count and attempts < count * 20:
+        attempts += 1
+        swaps = sample_swaps(state, anchor, rng, 1)
+        if not swaps:
+            break
+        successor = apply_swap(state, swaps[0])
+        if successor is not None:
+            state = successor
+            candidates.append(state)
+    return candidates
+
+
+def build_suite(config, seed: int = 0) -> list[Benchmark]:
+    """Instantiate the standard suite for one resolved scenario config."""
+    from ..bench_designs import load_corpus, load_design, reference_designs
+    from ..mcts import ConeBatchEvaluator, optimize_registers
+    from ..synth.simulate import BitParallelSimulator, simulate
+
+    trained_cache: dict[str, object] = {}
+
+    def training_graphs():
+        graphs = sorted(load_corpus(), key=lambda g: g.num_nodes)[:6]
+        return graphs
+
+    def trained_diffusion():
+        if "model" not in trained_cache:
+            from ..diffusion import train_diffusion
+
+            trained_cache["model"] = train_diffusion(
+                training_graphs(), config.diffusion
+            )
+        return trained_cache["model"]
+
+    # -- simulation ------------------------------------------------------
+    def sim_setup():
+        return _sim_workload()
+
+    def sim_scalar(state):
+        _, netlist, stimulus = state
+        simulate(netlist, stimulus, backend="scalar")
+        return netlist.num_gates * len(stimulus)
+
+    def sim_bitparallel(state):
+        _, netlist, stimulus = state
+        simulate(netlist, stimulus, backend="bitparallel")
+        return netlist.num_gates * len(stimulus)
+
+    def sim_steady_setup():
+        name, netlist, stimulus = _sim_workload()
+        return netlist, BitParallelSimulator(netlist), stimulus
+
+    def sim_steady(state):
+        netlist, simulator, stimulus = state
+        simulator.run(stimulus)
+        return netlist.num_gates * len(stimulus)
+
+    # -- batched cone evaluation ----------------------------------------
+    def cone_setup():
+        graph = load_design("alu")
+        register = graph.registers()[0]
+        rng = np.random.default_rng(seed)
+        candidates = _swap_candidates(graph, register, rng, 24)
+        # The evaluator (and therefore its packed stimulus words) lives
+        # in setup: the measured path is batched evaluation only.
+        evaluator = ConeBatchEvaluator(num_cycles=SIM_CYCLES, seed=seed)
+        return evaluator, register, candidates
+
+    def cone_run(state):
+        evaluator, register, candidates = state
+        evaluator.evaluate(candidates, register)
+        return len(candidates)
+
+    # -- MCTS ------------------------------------------------------------
+    def mcts_setup():
+        return load_design("uart_tx")
+
+    def mcts_run(graph):
+        report = optimize_registers(graph, config=config.mcts)
+        return max(report.total_simulations, 1)
+
+    # -- diffusion sampling ---------------------------------------------
+    def diffusion_setup():
+        return trained_diffusion()
+
+    def diffusion_run(trained):
+        from ..diffusion import sample_initial_graph
+
+        rng = np.random.default_rng(seed)
+        sample_initial_graph(trained, 48, rng=rng)
+        return None
+
+    # -- structural metrics ---------------------------------------------
+    def metrics_setup():
+        reference = reference_designs()["core_like"]
+        graphs = sorted(load_corpus(), key=lambda g: g.num_nodes)[:4]
+        return reference, graphs
+
+    def metrics_run(state):
+        from ..metrics import structural_similarity
+
+        reference, graphs = state
+        structural_similarity(reference, graphs)
+        return len(graphs)
+
+    # -- end-to-end generation ------------------------------------------
+    def e2e_setup():
+        from ..api import Session
+
+        session = Session(config=config, use_cache=False)
+        trained = trained_diffusion() if config.use_diffusion else None
+        session.engine.fit(training_graphs(), trained=trained)
+        return session
+
+    def e2e_run(session):
+        from ..api import GenerateRequest
+
+        session.generate(
+            GenerateRequest(count=1, nodes=44, optimize=True, seed=seed)
+        )
+        return None
+
+    benchmarks = [
+        Benchmark("simulate.scalar", sim_setup, sim_scalar,
+                  meta={"cycles": SIM_CYCLES}),
+        Benchmark("simulate.bitparallel", sim_setup, sim_bitparallel,
+                  meta={"cycles": SIM_CYCLES}),
+        Benchmark("simulate.bitparallel_steady", sim_steady_setup, sim_steady,
+                  meta={"cycles": SIM_CYCLES, "note": "compile excluded"}),
+        Benchmark("cone.batch_eval", cone_setup, cone_run,
+                  meta={"cycles": SIM_CYCLES}),
+        Benchmark("mcts.optimize", mcts_setup, mcts_run,
+                  meta={"design": "uart_tx",
+                        "num_simulations": config.mcts.num_simulations}),
+        Benchmark("metrics.structural", metrics_setup, metrics_run),
+        Benchmark("e2e.generate", e2e_setup, e2e_run, repeats=2,
+                  meta={"nodes": 44, "optimize": True}),
+    ]
+    if config.use_diffusion:
+        benchmarks.insert(
+            5,
+            Benchmark("diffusion.sample", diffusion_setup, diffusion_run,
+                      meta={"nodes": 48,
+                            "epochs": config.diffusion.epochs}),
+        )
+    return benchmarks
+
+
+def run_suite(
+    preset: str = "smoke",
+    *,
+    config=None,
+    suite: str | None = None,
+    seed: int = 0,
+    repeats: int = 3,
+    warmup: int = 1,
+    filter_pattern: str | None = None,
+    progress: Callable[[str], None] | None = None,
+) -> BenchReport:
+    """Run the standard suite and return a stamped :class:`BenchReport`.
+
+    ``config`` overrides the preset with an explicit scenario config;
+    ``filter_pattern`` keeps only benchmarks whose name contains the
+    substring.  The report's ``simulate.bitparallel`` record is annotated
+    with ``speedup_vs_scalar`` when both simulation benchmarks ran.
+    """
+    from ..api.presets import resolve_preset
+    from ..api.store import fingerprint
+
+    preset_name: str | None = preset
+    if config is None:
+        config = resolve_preset(preset, seed=seed)
+    else:
+        preset_name = suite
+    benchmarks = build_suite(config, seed=seed)
+    if filter_pattern:
+        benchmarks = [b for b in benchmarks if filter_pattern in b.name]
+
+    records = []
+    for benchmark in benchmarks:
+        if progress is not None:
+            progress(f"[bench] {benchmark.name} ...")
+        records.append(run_benchmark(benchmark, repeats=repeats, warmup=warmup))
+
+    by_name = {record.name: record for record in records}
+    scalar = by_name.get("simulate.scalar")
+    packed = by_name.get("simulate.bitparallel")
+    if scalar and packed and packed.wall_best > 0:
+        packed.meta["speedup_vs_scalar"] = round(
+            scalar.wall_best / packed.wall_best, 2
+        )
+
+    return BenchReport.stamped(
+        suite=suite or preset_name or "custom",
+        preset=preset_name,
+        config_fingerprint=fingerprint(config.to_dict()),
+        records=records,
+    )

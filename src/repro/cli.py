@@ -173,6 +173,44 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import BenchReport, compare, run_suite
+
+    report = run_suite(
+        preset=args.preset,
+        seed=args.seed,
+        repeats=args.repeats,
+        warmup=args.warmup,
+        filter_pattern=args.filter,
+        progress=print,
+    )
+    print(report.render())
+    # Load the baseline *before* writing: with the default output path
+    # `repro bench --compare BENCH_smoke.json` would otherwise overwrite
+    # the baseline and then compare the fresh report against itself.
+    baseline = BenchReport.load(args.compare) if args.compare else None
+    output = args.output or f"BENCH_{report.suite}.json"
+    report.write(output)
+    print(f"wrote {output} (rev {report.git_rev}, "
+          f"config {report.config_fingerprint[:12]})")
+
+    if baseline is not None:
+        if baseline.config_fingerprint != report.config_fingerprint:
+            print(f"note: baseline {args.compare} was produced by a "
+                  "different scenario config; comparing anyway")
+        regressions = compare(
+            report, baseline, max_regression=args.max_regression
+        )
+        if regressions:
+            print(f"PERF REGRESSION (>{args.max_regression:g}x vs "
+                  f"{args.compare}):")
+            for regression in regressions:
+                print(f"  {regression}")
+            return 1
+        print(f"no regression >{args.max_regression:g}x vs {args.compare}")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .api import ArtifactStore
 
@@ -249,6 +287,36 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--no-optimize", action="store_true")
     p_gen.add_argument("-o", "--output", default="generated")
     p_gen.set_defaults(func=_cmd_generate)
+
+    p_bench = sub.add_parser(
+        "bench", help="run the microbenchmark suite, write BENCH_<suite>.json"
+    )
+    p_bench.add_argument(
+        "--preset", default="smoke",
+        help="scenario preset sizing the workloads (see `repro presets`)",
+    )
+    p_bench.add_argument("--repeats", type=int, default=3,
+                         help="timed runs per benchmark (best is reported)")
+    p_bench.add_argument("--warmup", type=int, default=1,
+                         help="untimed warmup runs per benchmark")
+    p_bench.add_argument("--seed", type=int, default=0)
+    p_bench.add_argument(
+        "--filter", default=None,
+        help="only run benchmarks whose name contains this substring",
+    )
+    p_bench.add_argument(
+        "-o", "--output", default=None,
+        help="report path (default: BENCH_<suite>.json)",
+    )
+    p_bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="baseline BENCH_*.json; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--max-regression", type=float, default=2.0,
+        help="fail --compare when wall time grows past this factor",
+    )
+    p_bench.set_defaults(func=_cmd_bench)
 
     p_cache = sub.add_parser("cache", help="inspect the artifact store")
     # SUPPRESS: when omitted here, keep the value parsed from the global

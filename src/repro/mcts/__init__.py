@@ -16,16 +16,23 @@ from .optimize import (
 from .reward import (
     CONE_FEATURE_DIM,
     GRAPH_FEATURE_DIM,
+    CachedReward,
+    ConeBatchEvaluator,
+    ConeSignature,
     SynthesisReward,
     cone_features,
     graph_features,
+    structural_fingerprint,
 )
 from .tree import ConeSearchResult, MCTSOptimizer
 
 __all__ = [
     "CONE_FEATURE_DIM",
     "GRAPH_FEATURE_DIM",
+    "CachedReward",
     "Cone",
+    "ConeBatchEvaluator",
+    "ConeSignature",
     "graph_features",
     "ConeSearchResult",
     "MCTSConfig",
@@ -44,5 +51,6 @@ __all__ = [
     "optimize_registers",
     "random_search_registers",
     "sample_swaps",
+    "structural_fingerprint",
     "train_discriminator",
 ]

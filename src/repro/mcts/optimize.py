@@ -17,7 +17,7 @@ import numpy as np
 from ..ir import CircuitGraph
 from .actions import apply_swap, sample_swaps
 from .cones import all_cones, driving_cone
-from .reward import SynthesisReward
+from .reward import CachedReward, ConeBatchEvaluator, SynthesisReward
 from .tree import ConeSearchResult, MCTSOptimizer, RewardFn
 
 
@@ -28,6 +28,18 @@ class MCTSConfig:
     ``verify_with_synthesis`` guards acceptance when the search reward is
     an approximation (the discriminator): a cone's best state is only
     committed if the *true* post-synthesis PCS improved.
+
+    ``cache_rewards`` memoizes reward evaluations on a structural
+    fingerprint per cone search (:class:`~repro.mcts.reward.CachedReward`).
+    Swaps are self-inverse, so deep searches revisit states; the cache
+    turns every revisit into a dict lookup instead of a synthesis run
+    without changing any search decision.
+
+    ``track_cone_function`` records, for every accepted cone rewrite,
+    whether the new cone still computes the original function (packed
+    simulation of before/after against one shared stimulus, via
+    :class:`~repro.mcts.reward.ConeBatchEvaluator`).  Costs two cone
+    simulations per *accepted* cone -- microseconds next to the search.
     """
 
     num_simulations: int = 500
@@ -36,6 +48,8 @@ class MCTSConfig:
     exploration: float = math.sqrt(2.0)
     clock_period: float = 2.0
     verify_with_synthesis: bool = True
+    cache_rewards: bool = True
+    track_cone_function: bool = True
     seed: int = 0
 
 
@@ -43,6 +57,13 @@ class MCTSConfig:
 class OptimizationReport:
     graph: CircuitGraph
     cone_results: dict[int, ConeSearchResult] = field(default_factory=dict)
+    #: Reward lookups across all cone searches, and how many of them were
+    #: served by the structural cache (0 when ``cache_rewards`` is off).
+    reward_calls: int = 0
+    reward_cache_hits: int = 0
+    #: register -> whether the accepted rewrite preserved the cone's
+    #: function (only populated when ``track_cone_function`` is on).
+    cone_function_preserved: dict[int, bool] = field(default_factory=dict)
 
     @property
     def improved_cones(self) -> int:
@@ -73,6 +94,13 @@ def optimize_registers(
     )
     oracle = SynthesisReward(config.clock_period) if need_verify else None
     current_pcs = oracle(current) if oracle else None
+    # One evaluator for the whole run: its packed stimulus words are keyed
+    # by original-graph node ids, so every candidate netlist (across all
+    # cones) is driven by the same shared stimulus.
+    evaluator = (
+        ConeBatchEvaluator(seed=config.seed)
+        if config.track_cone_function else None
+    )
 
     cones = all_cones(current)
     if registers is not None:
@@ -81,8 +109,13 @@ def optimize_registers(
     for cone in cones:
         if not cone.interior:
             continue  # nothing to rewire inside a bare feedback register
+        # One cache per cone search: within it the cone is fixed, so the
+        # reward is a pure function of the structural fingerprint.
+        search_reward = (
+            CachedReward(reward_fn) if config.cache_rewards else reward_fn
+        )
         optimizer = MCTSOptimizer(
-            reward_fn,
+            search_reward,
             num_simulations=config.num_simulations,
             max_depth=config.max_depth,
             branching=config.branching,
@@ -92,7 +125,11 @@ def optimize_registers(
         live_cone = driving_cone(current, cone.register)
         result = optimizer.optimize_cone(current, live_cone)
         report.cone_results[cone.register] = result
+        if isinstance(search_reward, CachedReward):
+            report.reward_calls += search_reward.calls
+            report.reward_cache_hits += search_reward.hits
         accepted = False
+        previous = current
         if result.improved:
             if oracle is None:
                 current = result.best_graph
@@ -103,6 +140,14 @@ def optimize_registers(
                     current = result.best_graph
                     current_pcs = candidate_pcs
                     accepted = True
+        if accepted and evaluator is not None:
+            try:
+                report.cone_function_preserved[cone.register] = (
+                    evaluator.signature(previous, cone.register).words
+                    == evaluator.signature(current, cone.register).words
+                )
+            except Exception:  # diagnostic must never sink the search
+                pass
         if verbose:
             print(
                 f"[mcts] reg {cone.register}: pcs {result.initial_reward:.3f}"
@@ -142,7 +187,10 @@ def random_search_registers(
             continue
         children_set = [cone.register, *cone.interior]
         live = driving_cone(current, cone.register)
-        initial = reward_fn(current, live)
+        search_reward = (
+            CachedReward(reward_fn) if config.cache_rewards else reward_fn
+        )
+        initial = search_reward(current, live)
         best_graph, best_reward = current, initial
         state = current
         steps = 0
@@ -156,7 +204,7 @@ def random_search_registers(
             if nxt is None:
                 continue
             state = nxt
-            r = reward_fn(state, cone)
+            r = search_reward(state, cone)
             rewards_seen.append(r)
             if r > best_reward:
                 best_reward, best_graph = r, state
@@ -170,6 +218,9 @@ def random_search_registers(
             simulations=steps,
             rewards_seen=rewards_seen,
         )
+        if isinstance(search_reward, CachedReward):
+            report.reward_calls += search_reward.calls
+            report.reward_cache_hits += search_reward.hits
         if best_reward > initial + 1e-12:
             if oracle is None:
                 current = best_graph

@@ -13,12 +13,16 @@ here behind one callable protocol: ``reward(graph, cone) -> float``.
 from __future__ import annotations
 
 import threading
+import zlib
+from dataclasses import dataclass
 
 import numpy as np
 
 from ..ir import CircuitGraph, NUM_TYPES, NodeType, is_sequential
 from ..synth import synthesize
-from .cones import Cone
+from ..synth.elaborate import elaborate
+from ..synth.simulate import BitParallelSimulator
+from .cones import Cone, cone_subcircuit, driving_cone
 
 
 class SynthesisReward:
@@ -36,6 +40,159 @@ class SynthesisReward:
             self.calls += 1
         result = synthesize(graph, clock_period=self.clock_period, check=False)
         return result.pcs
+
+
+def structural_fingerprint(graph: CircuitGraph) -> tuple:
+    """Exact hashable key of a graph's structure.
+
+    Two graphs share a fingerprint iff they have identical node types,
+    widths, params (CONST values, slice indices, ...) and ordered parent
+    slots -- exactly the state every reward in this package is a
+    function of.  Computing it is O(nodes), orders of magnitude cheaper
+    than one synthesis call, which is what makes :class:`CachedReward`
+    pay off.
+    """
+    return (
+        tuple(
+            (node.type.value, node.width, tuple(sorted(node.params.items())))
+            for node in graph.nodes()
+        ),
+        tuple(tuple(graph.parents(node.id)) for node in graph.nodes()),
+    )
+
+
+class CachedReward:
+    """Structural memoization wrapper around any ``reward(graph, cone)``.
+
+    The swap action is its own inverse, so MCTS rollouts and the random-
+    search ablation revisit states constantly; every revisit would
+    otherwise pay a full synthesis (or discriminator) evaluation.  Keys
+    combine :func:`structural_fingerprint` with the cone's identity, so
+    rewards that condition on the cone stay correct.  ``calls`` counts
+    lookups, ``hits`` the ones served from cache; underlying reward
+    invocations are ``calls - hits``.
+    """
+
+    def __init__(self, reward_fn):
+        self.reward_fn = reward_fn
+        self.calls = 0
+        self.hits = 0
+        self._cache: dict[tuple, float] = {}
+
+    def __call__(self, graph: CircuitGraph, cone: Cone | None = None) -> float:
+        cone_key = None if cone is None else (
+            cone.register, tuple(cone.interior), tuple(cone.boundary)
+        )
+        key = (structural_fingerprint(graph), cone_key)
+        self.calls += 1
+        value = self._cache.get(key)
+        if value is not None:
+            self.hits += 1
+            return value
+        value = self.reward_fn(graph, cone)
+        self._cache[key] = value
+        return value
+
+
+# ---------------------------------------------------------------------------
+# Batched functional evaluation of candidate cone states
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConeSignature:
+    """Packed simulation response of one candidate's driving cone.
+
+    ``words[b]`` holds bit ``b`` of the observed register across all
+    stimulus cycles (LSB = cycle 0).  Equal signatures mean the two
+    candidates' cones computed the same function on the shared stimulus.
+    """
+
+    register: int
+    words: tuple[int, ...]
+    num_cycles: int
+
+    @property
+    def toggles(self) -> int:
+        """Output bit flips between consecutive cycles (activity proxy)."""
+        mask = (1 << max(self.num_cycles - 1, 0)) - 1
+        return sum(
+            bin((word ^ (word >> 1)) & mask).count("1") for word in self.words
+        )
+
+
+class ConeBatchEvaluator:
+    """Drive many candidate cone states with one shared packed stimulus.
+
+    The MCTS search produces batches of candidate netlists that differ
+    only inside one register's driving cone.  This evaluator elaborates
+    each candidate's cone sub-circuit and runs the bit-parallel simulator
+    (:class:`repro.synth.simulate.BitParallelSimulator`) against stimulus
+    words that are packed *once per boundary signal* and reused across
+    every candidate -- boundary nodes keep their original-graph ids in
+    the sub-circuit port names, so the same net sees the same word no
+    matter which candidate is being evaluated.
+
+    Signatures answer "which candidates compute distinct functions":
+    the functional-diversity diagnostic on search traces, and the
+    ``cone.batch_eval`` microbenchmark kernel in :mod:`repro.bench`.
+    """
+
+    def __init__(self, num_cycles: int = 64, seed: int = 0):
+        if not 1 <= num_cycles:
+            raise ValueError("num_cycles must be positive")
+        self.num_cycles = num_cycles
+        self.seed = seed
+        self._words: dict[tuple[str, int], int] = {}
+
+    # -- shared packed stimulus -----------------------------------------
+    def _word_for(self, marker: str, bit: int) -> int:
+        key = (marker, bit)
+        word = self._words.get(key)
+        if word is None:
+            seq = np.random.SeedSequence(
+                [self.seed, zlib.crc32(marker.encode()), bit]
+            )
+            bits = np.random.default_rng(seq).integers(
+                0, 2, size=self.num_cycles, dtype=np.uint8
+            )
+            word = int.from_bytes(np.packbits(bits, bitorder="little"), "little")
+            self._words[key] = word
+        return word
+
+    # -- evaluation ------------------------------------------------------
+    def signature(self, graph: CircuitGraph, register: int) -> ConeSignature:
+        """Simulate ``register``'s driving cone in ``graph``."""
+        cone = driving_cone(graph, register)
+        netlist = elaborate(cone_subcircuit(graph, cone), check=False)
+        simulator = BitParallelSimulator(netlist)
+        inputs = {}
+        for name, net in netlist.primary_inputs:
+            marker, rest = name.rsplit("_", 1)
+            bit = int(rest[rest.index("[") + 1:-1])
+            inputs[net] = self._word_for(marker, bit)
+        out_words = simulator.run_packed(inputs, self.num_cycles)
+        by_bit = sorted(
+            (int(name[name.index("[") + 1:-1]), word)
+            for name, word in out_words.items()
+        )
+        return ConeSignature(
+            register=register,
+            words=tuple(word for _, word in by_bit),
+            num_cycles=self.num_cycles,
+        )
+
+    def evaluate(
+        self, graphs: list[CircuitGraph], register: int
+    ) -> list[ConeSignature]:
+        """Signatures for a batch of candidate states of one register."""
+        return [self.signature(graph, register) for graph in graphs]
+
+    def distinct_functions(
+        self, graphs: list[CircuitGraph], register: int
+    ) -> int:
+        """How many distinct functions the candidates' cones compute."""
+        return len({sig.words for sig in self.evaluate(graphs, register)})
 
 
 def graph_features(graph: CircuitGraph) -> np.ndarray:

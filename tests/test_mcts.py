@@ -255,3 +255,109 @@ class TestMCTSSearch:
         assert result.simulations == 10
         assert result.best_reward >= result.initial_reward
         assert result.rewards_seen
+
+
+class TestCachedReward:
+    def test_hits_and_transparency(self):
+        from repro.mcts import CachedReward
+
+        g = redundant_design()
+        inner = SynthesisReward(2.0)
+        cached = CachedReward(inner)
+        cone = all_cones(g)[0]
+        first = cached(g, cone)
+        second = cached(g, cone)
+        assert first == second == inner(g, cone)
+        assert cached.calls == 2 and cached.hits == 1
+        assert inner.calls == 2  # one miss + the direct check call
+
+    def test_distinct_states_and_cones_not_conflated(self):
+        from repro.mcts import CachedReward, structural_fingerprint
+
+        g = redundant_design()
+        cones = [c for c in all_cones(g) if c.interior]
+        cached = CachedReward(SynthesisReward(2.0))
+        cached(g, cones[0])
+        cached(g, cones[1])          # same graph, different cone: a miss
+        assert cached.hits == 0
+        rng = np.random.default_rng(0)
+        swaps = sample_swaps(g, cones[0].nodes, rng, 8)
+        changed = next(
+            s for s in (apply_swap(g, sw) for sw in swaps) if s is not None
+        )
+        assert structural_fingerprint(changed) != structural_fingerprint(g)
+        cached(changed, cones[0])    # different state: a miss
+        assert cached.hits == 0 and cached.calls == 3
+
+    def test_caching_never_changes_the_search(self):
+        g = redundant_design()
+        on = MCTSConfig(num_simulations=12, max_depth=3, branching=3, seed=4)
+        off = MCTSConfig(num_simulations=12, max_depth=3, branching=3, seed=4,
+                         cache_rewards=False)
+        report_on = optimize_registers(g, config=on)
+        report_off = optimize_registers(g, config=off)
+        assert report_on.graph.to_dict() == report_off.graph.to_dict()
+        assert report_on.reward_calls > 0
+        assert report_off.reward_calls == report_off.reward_cache_hits == 0
+
+
+class TestConeBatchEvaluator:
+    def test_signatures_detect_functional_change(self):
+        from repro.mcts import ConeBatchEvaluator
+
+        g = redundant_design()
+        register = g.registers()[1]    # r2 = AND(a, c): a real function
+        evaluator = ConeBatchEvaluator(num_cycles=64, seed=0)
+        base = evaluator.signature(g, register)
+        assert base == evaluator.signature(g, register)  # deterministic
+        assert len(base.words) == g.node(register).width
+        assert base.num_cycles == 64
+        # Activity proxy: toggles counts the bit flips between
+        # consecutive cycles of every output word.
+        expected_toggles = sum(
+            bin((word ^ (word >> 1)) & ((1 << 63) - 1)).count("1")
+            for word in base.words
+        )
+        assert base.toggles == expected_toggles
+        assert 0 <= base.toggles <= (base.num_cycles - 1) * len(base.words)
+
+        rng = np.random.default_rng(1)
+        cone = driving_cone(g, register)
+        candidates = [g]
+        state = g
+        for _ in range(12):
+            swaps = sample_swaps(state, [register, *cone.interior], rng, 1)
+            if not swaps:
+                break
+            nxt = apply_swap(state, swaps[0])
+            if nxt is not None:
+                state = nxt
+                candidates.append(state)
+        assert len(candidates) > 2
+        signatures = evaluator.evaluate(candidates, register)
+        assert len(signatures) == len(candidates)
+        distinct = evaluator.distinct_functions(candidates, register)
+        assert 1 <= distinct <= len(candidates)
+
+    def test_stimulus_shared_across_candidates(self):
+        from repro.mcts import ConeBatchEvaluator
+
+        g = redundant_design()
+        register = g.registers()[1]
+        evaluator = ConeBatchEvaluator(num_cycles=32, seed=5)
+        evaluator.signature(g, register)
+        words_after_first = dict(evaluator._words)
+        evaluator.signature(g, register)
+        # Second candidate re-used every packed stimulus word.
+        assert evaluator._words == words_after_first
+
+    def test_function_preservation_reported(self):
+        g = redundant_design()
+        cfg = MCTSConfig(num_simulations=25, max_depth=4, branching=4, seed=2)
+        report = optimize_registers(g, config=cfg)
+        assert set(report.cone_function_preserved) <= set(g.registers())
+        for preserved in report.cone_function_preserved.values():
+            assert isinstance(preserved, bool)
+        off = MCTSConfig(num_simulations=5, max_depth=2, seed=2,
+                         track_cone_function=False)
+        assert optimize_registers(g, config=off).cone_function_preserved == {}

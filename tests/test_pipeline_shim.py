@@ -1,0 +1,60 @@
+"""End-to-end coverage of the ``repro.pipeline`` deprecation shim.
+
+The shim must (1) warn on access -- once per call site under the default
+warning filter, (2) hand out the *same* objects as ``repro.api``, and
+(3) keep the old entry points fully functional: fitting and generating a
+valid graph through ``repro.pipeline.SynCircuit`` must still work."""
+
+import warnings
+
+import pytest
+
+import repro.api
+import repro.pipeline as pipeline
+
+
+class TestShimSurface:
+    def test_access_warns_and_aliases_api(self):
+        for name in ("SynCircuit", "SynCircuitConfig", "GenerationRecord"):
+            with pytest.warns(DeprecationWarning, match=f"repro.pipeline.{name}"):
+                obj = getattr(pipeline, name)
+            assert obj is getattr(repro.api, name)
+
+    def test_warning_emitted_once_per_site(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("default")
+            for _ in range(3):
+                pipeline.SynCircuitConfig  # same call site each iteration
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+
+    def test_dir_lists_moved_names_only(self):
+        assert dir(pipeline) == [
+            "GenerationRecord", "SynCircuit", "SynCircuitConfig",
+        ]
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError, match="no attribute 'Frobnicator'"):
+            pipeline.Frobnicator
+
+
+class TestShimEndToEnd:
+    def test_old_entry_points_still_generate(self):
+        from repro.bench_designs import load_corpus
+        from repro.diffusion import DiffusionConfig
+        from repro.ir import validate
+        from repro.mcts import MCTSConfig
+
+        with pytest.warns(DeprecationWarning):
+            from repro.pipeline import SynCircuit, SynCircuitConfig
+
+        config = SynCircuitConfig(
+            diffusion=DiffusionConfig(epochs=4, hidden=12, num_layers=2),
+            mcts=MCTSConfig(num_simulations=5, max_depth=3, branching=3),
+        )
+        engine = SynCircuit(config).fit(load_corpus()[:3])
+        record = engine.generate(1, 24, optimize=False, seed=0)[0]
+        assert validate(record.g_val).ok
+        assert record.graph is record.g_val
+        # The shim and the api build literally the same class of record.
+        assert isinstance(record, repro.api.GenerationRecord)
