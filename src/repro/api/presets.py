@@ -62,6 +62,9 @@ def _ablation_no_diff() -> SynCircuitConfig:
 def _ablation_reward() -> SynCircuitConfig:
     config = _paper()
     config.reward = "synthesis"
+    # The ablation's point is the *exact* PCS in the search loop, so the
+    # incremental estimate must not substitute for it.
+    config.mcts.incremental = False
     return config
 
 
@@ -78,8 +81,10 @@ _PRESETS: dict[str, tuple[Callable[[], SynCircuitConfig], str]] = {
                          "Paper's 'w/o diff' ablation: random G_ini at "
                          "training density instead of diffusion."),
     "ablation-reward": (_ablation_reward,
-                        "Paper's reward ablation: exact synthesis PCS "
-                        "instead of the learned discriminator."),
+                        "Paper's reward ablation: exact synthesis PCS in "
+                        "the search loop (discriminator and incremental "
+                        "estimate both off -- the full-resynthesis "
+                        "reference path)."),
 }
 
 

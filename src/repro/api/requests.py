@@ -48,7 +48,10 @@ class GenerateRequest:
     independently per item.  ``seed`` fully determines the output; the
     per-item seed derivation makes ``workers > 1`` bit-identical to the
     sequential path.  ``synth_period`` (if set) attaches a cached
-    synthesis summary per generated circuit.
+    synthesis summary per generated circuit.  ``incremental`` overrides
+    the session config's ``MCTSConfig.incremental`` for this request
+    only (``None`` keeps the config's choice): ``False`` forces the
+    full-resynthesis oracle reward in the Phase 3 search.
     """
 
     count: int = 1
@@ -58,6 +61,7 @@ class GenerateRequest:
     name_prefix: str = "syn"
     workers: int = 1
     synth_period: float | None = None
+    incremental: bool | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -68,6 +72,7 @@ class GenerateRequest:
             "name_prefix": self.name_prefix,
             "workers": self.workers,
             "synth_period": self.synth_period,
+            "incremental": self.incremental,
         }
 
     @classmethod

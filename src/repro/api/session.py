@@ -157,10 +157,20 @@ class Session:
             n = int(rng.integers(nodes[0], nodes[1] + 1))
         else:
             n = int(nodes)
+        mcts_config = None
+        if (request.incremental is not None
+                and request.incremental != self.config.mcts.incremental):
+            # Request-scoped copy: workers share the session config.
+            import dataclasses
+
+            mcts_config = dataclasses.replace(
+                self.config.mcts, incremental=request.incremental
+            )
         return self.engine.generate_one(
             n, rng,
             optimize=request.optimize,
             name=f"{request.name_prefix}{index}",
+            mcts_config=mcts_config,
         )
 
     def _finalize(

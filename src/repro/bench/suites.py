@@ -8,7 +8,12 @@ deliberately spans the whole stack:
 
 * ``simulate.*``       -- netlist simulation backends, largest corpus design
 * ``cone.batch_eval``  -- batched packed-stimulus cone evaluation
-* ``mcts.optimize``    -- the Phase 3 search loop (reward = synthesis)
+* ``incr.apply_edit``  -- delta re-elaboration + incremental timing
+* ``incr.batch_queue`` -- CandidateQueue: delta netlists through the
+  packed simulator with one shared stimulus
+* ``mcts.optimize``    -- the Phase 3 search loop (preset reward path)
+* ``mcts.optimize_incremental`` -- the same loop with the incremental
+  reward engine explicitly enabled (pinned even if presets change)
 * ``diffusion.sample`` -- Phase 1 reverse denoising
 * ``metrics.structural`` -- Table II structural-similarity metrics
 * ``e2e.generate``     -- one full Session.generate (all three phases)
@@ -133,12 +138,64 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
         evaluator.evaluate(candidates, register)
         return len(candidates)
 
+    # -- incremental synthesis engine -----------------------------------
+    def incr_setup():
+        from ..incr import DeltaNetlist, IncrementalTiming
+
+        graph = load_design("alu")
+        register = graph.registers()[0]
+        rng = np.random.default_rng(seed)
+        candidates = _swap_candidates(graph, register, rng, 24)[1:]
+        base = DeltaNetlist.from_graph(graph, check=False)
+        timing = IncrementalTiming(base, clock_period=2.0)
+        return base, timing, candidates
+
+    def incr_run(state):
+        base, timing, candidates = state
+        for candidate in candidates:
+            delta = base.apply_edit(candidate)
+            delta.total_area()
+            timing.update(delta)
+        return len(candidates)
+
+    def queue_setup():
+        from ..incr import CandidateQueue
+
+        graph = load_design("alu")
+        register = graph.registers()[0]
+        rng = np.random.default_rng(seed)
+        candidates = _swap_candidates(graph, register, rng, 24)
+        queue = CandidateQueue(
+            graph, num_cycles=SIM_CYCLES, seed=seed, clock_period=2.0
+        )
+        return queue, candidates
+
+    def queue_run(state):
+        queue, candidates = state
+        for candidate in candidates:
+            queue.submit(candidate)
+        queue.flush()
+        return len(candidates)
+
     # -- MCTS ------------------------------------------------------------
     def mcts_setup():
         return load_design("uart_tx")
 
     def mcts_run(graph):
         report = optimize_registers(graph, config=config.mcts)
+        return max(report.total_simulations, 1)
+
+    def mcts_incr_setup():
+        import dataclasses
+
+        return (
+            load_design("uart_tx"),
+            dataclasses.replace(config.mcts, incremental=True),
+        )
+
+    def mcts_incr_run(state):
+        graph, mcts_config = state
+        report = optimize_registers(graph, config=mcts_config)
         return max(report.total_simulations, 1)
 
     # -- diffusion sampling ---------------------------------------------
@@ -191,16 +248,26 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
                   meta={"cycles": SIM_CYCLES, "note": "compile excluded"}),
         Benchmark("cone.batch_eval", cone_setup, cone_run,
                   meta={"cycles": SIM_CYCLES}),
+        Benchmark("incr.apply_edit", incr_setup, incr_run,
+                  meta={"design": "alu",
+                        "note": "delta re-elaboration + incremental STA"}),
+        Benchmark("incr.batch_queue", queue_setup, queue_run,
+                  meta={"design": "alu", "cycles": SIM_CYCLES}),
         Benchmark("mcts.optimize", mcts_setup, mcts_run,
                   meta={"design": "uart_tx",
-                        "num_simulations": config.mcts.num_simulations}),
+                        "num_simulations": config.mcts.num_simulations,
+                        "incremental": config.mcts.incremental}),
+        Benchmark("mcts.optimize_incremental", mcts_incr_setup, mcts_incr_run,
+                  meta={"design": "uart_tx",
+                        "num_simulations": config.mcts.num_simulations,
+                        "incremental": True}),
         Benchmark("metrics.structural", metrics_setup, metrics_run),
         Benchmark("e2e.generate", e2e_setup, e2e_run, repeats=2,
                   meta={"nodes": 44, "optimize": True}),
     ]
     if config.use_diffusion:
         benchmarks.insert(
-            5,
+            8,
             Benchmark("diffusion.sample", diffusion_setup, diffusion_run,
                       meta={"nodes": 48,
                             "epochs": config.diffusion.epochs}),

@@ -52,12 +52,12 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
 def _cmd_presets(args: argparse.Namespace) -> int:
     from .api import list_presets, resolve_preset
 
-    print(f"{'preset':<18s}{'epochs':>7s}{'sims':>6s}{'reward':>15s}"
+    print(f"{'preset':<22s}{'epochs':>7s}{'sims':>6s}{'reward':>15s}"
           f"{'diff':>6s}  description")
     for name, description in list_presets().items():
         config = resolve_preset(name)
         print(
-            f"{name:<18s}{config.diffusion.epochs:>7d}"
+            f"{name:<22s}{config.diffusion.epochs:>7d}"
             f"{config.mcts.num_simulations:>6d}{config.reward:>15s}"
             f"{'yes' if config.use_diffusion else 'no':>6s}  {description}"
         )
@@ -127,6 +127,10 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         diffusion["epochs"] = args.epochs
     if args.simulations is not None:
         mcts["num_simulations"] = args.simulations
+    if args.full_resynthesis:
+        mcts["incremental"] = False
+    if args.require_equivalence:
+        mcts["require_functional_equivalence"] = True
     try:
         config = resolve_preset(
             args.preset, seed=args.seed, diffusion=diffusion, mcts=mcts
@@ -285,6 +289,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("--period", type=float, default=1.0)
     p_gen.add_argument("--seed", type=int, default=0)
     p_gen.add_argument("--no-optimize", action="store_true")
+    p_gen.add_argument(
+        "--full-resynthesis", action="store_true",
+        help="disable the incremental reward engine: every MCTS reward "
+             "runs a full synthesize() (the reference oracle path)",
+    )
+    p_gen.add_argument(
+        "--require-equivalence", action="store_true",
+        help="reject cone rewrites whose simulated function changes "
+             "(promotes the cone-function diagnostic to a hard gate)",
+    )
     p_gen.add_argument("-o", "--output", default="generated")
     p_gen.set_defaults(func=_cmd_generate)
 

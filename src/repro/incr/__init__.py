@@ -1,0 +1,41 @@
+"""Incremental synthesis engine: delta-driven elaboration, timing and
+reward evaluation for the MCTS hot loop.
+
+The exact reward path re-synthesizes the whole design for every
+candidate swap; this package re-elaborates only the *dirty cone* (the
+transitive combinational fanout of the edited nodes) and structurally
+shares everything else:
+
+* :class:`DeltaNetlist` -- a base netlist plus a patch set, with
+  ``apply_edit`` producing equivalent-netlist deltas in O(dirty cone);
+* :class:`IncrementalTiming` -- arrival/slack updates along the dirty
+  cone only, bit-identical to ``repro.synth.timing.analyze_timing``;
+* :class:`CandidateQueue` -- batched candidate evaluation through the
+  packed bit-parallel simulator with one shared stimulus;
+* :class:`IncrementalReward` -- the MCTS reward adapter: delta areas +
+  word-level redundancy analysis, calibrated to exact PCS at rebase and
+  oracle-gated at acceptance (``MCTSConfig.incremental`` selects it).
+
+This package depends only on :mod:`repro.ir` and :mod:`repro.synth`;
+:mod:`repro.mcts` layers the search integration on top.
+"""
+
+from .analysis import RedundancyAnalyzer, RedundancyReport, analyze_redundancy
+from .delta import DeltaNetlist, NodeArtifact, comb_topo_order
+from .queue import CandidateQueue, CandidateResult
+from .reward import IncrementalEval, IncrementalReward
+from .timing import IncrementalTiming
+
+__all__ = [
+    "CandidateQueue",
+    "CandidateResult",
+    "DeltaNetlist",
+    "IncrementalEval",
+    "IncrementalReward",
+    "IncrementalTiming",
+    "NodeArtifact",
+    "RedundancyAnalyzer",
+    "RedundancyReport",
+    "analyze_redundancy",
+    "comb_topo_order",
+]

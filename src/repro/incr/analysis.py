@@ -1,0 +1,413 @@
+"""Word-level redundancy analysis: which nodes survive synthesis.
+
+The exact reward runs the gate-level optimizer
+(:func:`repro.synth.passes.optimize`) on every candidate -- a global
+fixpoint over hundreds of gates, the dominant cost of the MCTS reward
+path.  This module predicts the optimizer's effect directly on the
+*word-level* IR (tens of nodes): constant folding, identity/alias
+collapsing, duplicate-structure merging and dead-code elimination are
+mirrored with whole-word rules, and the surviving nodes keep the raw
+per-node gate areas supplied by a :class:`~repro.incr.delta.DeltaNetlist`.
+
+The result is an estimate, not the oracle: it works at word granularity
+(a half-constant word still counts as surviving) and cannot see
+bit-level recombination.  The MCTS driver therefore keeps the full
+``synthesize()`` PCS as the acceptance oracle; this analysis only has to
+*rank* candidate rewrites, which the same redundancy mechanisms dominate.
+
+:class:`RedundancyAnalyzer` precomputes all schema-static per-node data
+(types, widths, masks, params, a near-topological evaluation order)
+once, so re-analyzing each of a search's candidate states -- same
+schema, different wiring -- costs one short fixpoint over the node list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir import CircuitGraph, NodeType
+from ..synth.elaborate import MUL_WIDTH_CAP as _MUL_WIDTH_CAP
+
+#: Node "value" references: ``("c", value)`` for a folded constant,
+#: ``("n", rep, width)`` for the word computed by node ``rep`` seen
+#: through ``width`` significant bits.
+Ref = tuple
+
+_COMMUTATIVE = frozenset((
+    NodeType.AND, NodeType.OR, NodeType.XOR, NodeType.ADD, NodeType.MUL,
+    NodeType.EQ,
+))
+
+#: Types whose value reference never changes during the fixpoint.
+_FIXED = frozenset((NodeType.IN, NodeType.CONST, NodeType.OUT))
+
+
+@dataclass
+class RedundancyReport:
+    """Outcome of one analysis over one graph state."""
+
+    refs: list[Ref]
+    #: Nodes whose own gates survive (not folded / aliased / merged).
+    kept: set[int]
+    #: Kept nodes that degenerate to pure rewiring (zero surviving area).
+    rewired: set[int] = field(default_factory=set)
+    #: Kept nodes reachable backwards from an output.
+    live: set[int] = field(default_factory=set)
+    rounds: int = 0
+
+    def survivors(self) -> set[int]:
+        """Nodes expected to contribute area after synthesis."""
+        return (self.kept & self.live) - self.rewired
+
+
+def _trunc(ref: Ref, width: int) -> Ref:
+    if ref[0] == "c":
+        return ("c", ref[1] & ((1 << width) - 1))
+    return ("n", ref[1], min(ref[2], width))
+
+
+#: Integer op codes for the analyze hot loop (enum dispatch is slow).
+(_K_AND, _K_OR, _K_XOR, _K_ADD, _K_SUB, _K_MUL, _K_EQ, _K_LT, _K_SHIFT,
+ _K_MUX, _K_REG, _K_WIRE, _K_UNARY) = range(13)
+
+_TYPE_CODE = {
+    NodeType.AND: _K_AND, NodeType.OR: _K_OR, NodeType.XOR: _K_XOR,
+    NodeType.ADD: _K_ADD, NodeType.SUB: _K_SUB, NodeType.MUL: _K_MUL,
+    NodeType.EQ: _K_EQ, NodeType.LT: _K_LT,
+    NodeType.SHL: _K_SHIFT, NodeType.SHR: _K_SHIFT,
+    NodeType.MUX: _K_MUX, NodeType.REG: _K_REG,
+    NodeType.SLICE: _K_WIRE, NodeType.CONCAT: _K_WIRE,
+    NodeType.NOT: _K_UNARY, NodeType.REDUCE_OR: _K_UNARY,
+}
+
+
+class RedundancyAnalyzer:
+    """Schema-bound analyzer, reusable across candidate wirings."""
+
+    def __init__(self, graph: CircuitGraph):
+        nodes = list(graph.nodes())
+        self.num_nodes = len(nodes)
+        self.types = [n.type for n in nodes]
+        self.widths = [n.width for n in nodes]
+        self.masks = [(1 << n.width) - 1 for n in nodes]
+        self.slice_lo = [int(n.params.get("lo", 0)) for n in nodes]
+        #: Schema-static dedup-signature prefix per node.
+        self.static_sig = [
+            (n.type.value, n.width, tuple(sorted(n.params.items())))
+            for n in nodes
+        ]
+        self.commutative = [n.type in _COMMUTATIVE for n in nodes]
+        self.codes = [_TYPE_CODE.get(n.type, -1) for n in nodes]
+        #: Initial refs: constants fold immediately, everything else is
+        #: its own representative.
+        self.init_refs: list[Ref] = [
+            ("c", int(n.params.get("value", 0)) & self.masks[n.id])
+            if n.type is NodeType.CONST else ("n", n.id, n.width)
+            for n in nodes
+        ]
+        self.outputs = graph.outputs()
+        #: SLICE / CONCAT never emit gates; their rewiring is static.
+        self.static_rewired = frozenset(
+            n.id for n in nodes
+            if n.type in (NodeType.SLICE, NodeType.CONCAT)
+        )
+        #: Evaluation order: combinational topo order of the *analyzer's*
+        #: graph, then registers.  For candidate states with rewired
+        #: edges the order is only near-topological; the fixpoint rounds
+        #: absorb the difference.
+        from .delta import comb_topo_order
+
+        comb = {
+            n.id for n in nodes
+            if n.type not in (NodeType.IN, NodeType.CONST, NodeType.REG,
+                              NodeType.OUT)
+        }
+        self.order = [
+            *comb_topo_order(graph, comb),
+            *(n.id for n in nodes if n.type is NodeType.REG),
+        ]
+        self._pos = {v: i for i, v in enumerate(self.order)}
+        self._comb = comb
+
+    # ------------------------------------------------------------------
+    def analyze(
+        self,
+        graph: CircuitGraph,
+        max_rounds: int = 8,
+        touched=None,
+    ) -> RedundancyReport:
+        """Fixpoint constant/alias/duplicate/dead analysis of ``graph``.
+
+        ``touched`` (optional) names the nodes whose parents differ from
+        the analyzer's construction graph.  When none of those edits
+        inverts the precomputed evaluation order, one round provably
+        converges for the combinational part and the stabilization
+        rounds are only run if a register's reference moved -- the hot
+        path for candidate states that differ from a search base by a
+        few swaps.
+        """
+        parents = [graph.filled_parents(v) for v in range(self.num_nodes)]
+        refs = list(self.init_refs)
+        rewired: set[int] = set(self.static_rewired)
+        single_round_ok = touched is not None and self._order_valid(
+            parents, touched
+        )
+        rounds = self._fixpoint(
+            parents, refs, rewired, self.order, max_rounds,
+            single_round_ok=single_round_ok,
+        )
+        return self._report(parents, refs, rewired, rounds)
+
+    def _order_valid(self, parents, touched) -> bool:
+        """True when the touched nodes' parent edges respect the
+        analyzer's combinational evaluation order."""
+        pos, comb = self._pos, self._comb
+        for v in touched:
+            if v not in comb:
+                continue  # REG/OUT read results only after the comb pass
+            limit = pos[v]
+            for p in parents[v]:
+                if p in comb and pos[p] > limit:
+                    return False
+        return True
+
+    def _report(self, parents, refs, rewired, rounds) -> RedundancyReport:
+        types = self.types
+        kept = {
+            v for v in range(self.num_nodes)
+            if refs[v][0] == "n" and refs[v][1] == v
+            and types[v] not in _FIXED
+        }
+        live = self._backward_live(parents, refs)
+        return RedundancyReport(
+            refs=refs, kept=kept, rewired=rewired, live=live, rounds=rounds,
+        )
+
+    def _fixpoint(
+        self, parents, refs, rewired, order, max_rounds,
+        single_round_ok: bool = False,
+    ) -> int:
+        """Run rule rounds over ``order`` until stable; mutates
+        ``refs`` / ``rewired`` in place, returns the round count.
+
+        With ``single_round_ok`` (topologically valid order), the pass
+        stops after round one unless a register's reference changed --
+        registers are the only nodes evaluated after their consumers.
+        """
+        widths, masks = self.widths, self.masks
+        codes, types = self.codes, self.types
+        commutative, static_sig = self.commutative, self.static_sig
+        rounds = 0
+        reg_changed = False
+
+        for rounds in range(1, max_rounds + 1):
+            changed = False
+            seen: dict[tuple, Ref] = {}
+            for v in order:
+                code = codes[v]
+                w = widths[v]
+                mask = masks[v]
+                pv = parents[v]
+                ref = None
+                rewire = v in self.static_rewired
+
+                if code == _K_REG:
+                    if pv:
+                        d = refs[pv[0]]
+                        if d[0] == "c":
+                            # Constant-register sweep (uninitialised-
+                            # flop semantics, as in synth.passes).
+                            ref = ("c", d[1] & mask)
+                        elif d[1] == v:
+                            # Next state == current: stuck at reset 0.
+                            ref = ("c", 0)
+                elif code == _K_MUX:
+                    sel = refs[pv[0]]
+                    a = refs[pv[1]]
+                    b = refs[pv[2]]
+                    if sel[0] == "c":
+                        if a[0] == "c" and b[0] == "c":
+                            ref = ("c",
+                                   (a[1] if sel[1] != 0 else b[1]) & mask)
+                        else:
+                            ref = _trunc(a if sel[1] != 0 else b, w)
+                    elif a == b:
+                        ref = _trunc(a, w)
+                elif code == _K_UNARY:
+                    a = refs[pv[0]]
+                    if a[0] == "c":
+                        ref = ("c", self._fold(v, types[v], w,
+                                               [a[1]], None) & mask)
+                elif code == _K_WIRE:
+                    consts = [refs[p][1] for p in pv
+                              if refs[p][0] == "c"]
+                    if len(consts) == len(pv):
+                        pwidths = [widths[p] for p in pv]
+                        ref = ("c", self._fold(v, types[v], w,
+                                               consts, pwidths) & mask)
+                else:
+                    a = refs[pv[0]]
+                    b = refs[pv[1]]
+                    ca = a[1] if a[0] == "c" else None
+                    cb = b[1] if b[0] == "c" else None
+                    if ca is not None and cb is not None:
+                        pwidths = [widths[pv[0]], widths[pv[1]]]
+                        ref = ("c", self._fold(v, types[v], w,
+                                               [ca, cb], pwidths) & mask)
+                    elif code == _K_AND or code == _K_OR:
+                        absorbing = 0 if code == _K_AND else mask
+                        identity = mask ^ absorbing
+                        for c, other in ((ca, b), (cb, a)):
+                            if c is None:
+                                continue
+                            cw = c & mask
+                            if cw == absorbing:
+                                ref = ("c", absorbing)
+                                break
+                            if cw == identity:
+                                ref = _trunc(other, w)
+                                break
+                        if ref is None and a == b:
+                            ref = _trunc(a, w)
+                    elif code == _K_XOR:
+                        if a == b:
+                            ref = ("c", 0)
+                        elif ca is not None and (ca & mask) == 0:
+                            ref = _trunc(b, w)
+                        elif cb is not None and (cb & mask) == 0:
+                            ref = _trunc(a, w)
+                    elif code == _K_ADD:
+                        if ca is not None and (ca & mask) == 0:
+                            ref = _trunc(b, w)
+                        elif cb is not None and (cb & mask) == 0:
+                            ref = _trunc(a, w)
+                    elif code == _K_SUB:
+                        if a == b:
+                            ref = ("c", 0)
+                        elif cb is not None and (cb & mask) == 0:
+                            ref = _trunc(a, w)
+                    elif code == _K_EQ:
+                        if a == b:
+                            ref = ("c", 1)
+                    elif code == _K_LT:
+                        if a == b:
+                            ref = ("c", 0)
+                    elif code == _K_MUL:
+                        for c, other in ((ca, b), (cb, a)):
+                            if c is None:
+                                continue
+                            if c == 0:
+                                ref = ("c", 0)
+                                break
+                            if c == 1:
+                                ref = _trunc(other, w)
+                                break
+                    elif code == _K_SHIFT:
+                        if cb is not None:
+                            if cb == 0:
+                                ref = _trunc(a, w)
+                            else:
+                                # Constant shift: the barrel-shifter
+                                # muxes fold to rewiring.
+                                rewire = True
+
+                if ref is None:
+                    ref = ("n", v, w)
+                    # Duplicate merging, registers included (the DFF
+                    # next-state merge of repro.synth.passes._dedupe).
+                    canon = tuple(refs[p] for p in pv)
+                    if commutative[v]:
+                        canon = tuple(sorted(canon))
+                    key = (static_sig[v], canon)
+                    prior = seen.get(key)
+                    if prior is not None:
+                        ref = _trunc(prior, w)
+                    else:
+                        seen[key] = ref
+
+                if refs[v] != ref:
+                    refs[v] = ref
+                    changed = True
+                    if code == _K_REG:
+                        reg_changed = True
+                if rewire != (v in rewired):
+                    changed = True
+                    if rewire:
+                        rewired.add(v)
+                    else:
+                        rewired.discard(v)
+            if not changed:
+                break
+            if single_round_ok and rounds == 1 and not reg_changed:
+                break
+        return rounds
+
+    # ------------------------------------------------------------------
+    def _fold(self, v, t, w, consts, pwidths) -> int:
+        """Evaluate one operator over constant words (elaborate semantics)."""
+        mask = (1 << w) - 1
+
+        if t is NodeType.NOT:
+            return ~(consts[0] & mask)
+        if t is NodeType.REDUCE_OR:
+            return 1 if consts[0] != 0 else 0
+        if t is NodeType.SLICE:
+            return consts[0] >> self.slice_lo[v]
+        if t is NodeType.CONCAT:
+            return consts[1] | (consts[0] << pwidths[1])
+        if t is NodeType.AND:
+            return consts[0] & consts[1] & mask
+        if t is NodeType.OR:
+            return (consts[0] | consts[1]) & mask
+        if t is NodeType.XOR:
+            return (consts[0] ^ consts[1]) & mask
+        if t is NodeType.ADD:
+            return (consts[0] & mask) + (consts[1] & mask)
+        if t is NodeType.SUB:
+            return (consts[0] & mask) - (consts[1] & mask)
+        if t is NodeType.MUL:
+            wa = min(pwidths[0], _MUL_WIDTH_CAP, w)
+            wb = min(pwidths[1], _MUL_WIDTH_CAP, w)
+            return (consts[0] & ((1 << wa) - 1)) * (consts[1] & ((1 << wb) - 1))
+        if t is NodeType.EQ:
+            return 1 if consts[0] == consts[1] else 0
+        if t is NodeType.LT:
+            return 1 if consts[0] < consts[1] else 0
+        if t is NodeType.SHL:
+            return (consts[0] & mask) << consts[1] if consts[1] < w else 0
+        if t is NodeType.SHR:
+            return (consts[0] & mask) >> consts[1] if consts[1] < w else 0
+        if t is NodeType.MUX:
+            return consts[1] if consts[0] != 0 else consts[2]
+        raise ValueError(f"cannot fold node type {t}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    def _backward_live(self, parents, refs) -> set[int]:
+        """Nodes reachable backwards from the primary outputs.
+
+        Traversal follows *resolved* references: an aliased or merged
+        node is transparent (its representative carries the logic), and
+        constant parents terminate a branch -- the word-level mirror of
+        dead-code elimination, including the sweep of unobserved
+        registers.
+        """
+        live: set[int] = set()
+        stack = list(self.outputs)
+        while stack:
+            v = stack.pop()
+            ref = refs[v]
+            if ref[0] == "c":
+                continue
+            rep = ref[1]
+            if rep in live:
+                continue
+            live.add(rep)
+            stack.extend(parents[rep])
+        return live
+
+
+def analyze_redundancy(
+    graph: CircuitGraph, max_rounds: int = 8
+) -> RedundancyReport:
+    """One-shot convenience wrapper around :class:`RedundancyAnalyzer`."""
+    return RedundancyAnalyzer(graph).analyze(graph, max_rounds=max_rounds)

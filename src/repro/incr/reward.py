@@ -1,0 +1,208 @@
+"""Incremental reward evaluation for the MCTS hot loop.
+
+:class:`IncrementalReward` replaces the per-candidate full
+``synthesize()`` call of the exact PCS reward with:
+
+1. a delta re-elaboration of the candidate against the cone search's
+   base state (:class:`~repro.incr.delta.DeltaNetlist`), giving exact
+   raw per-node gate areas while touching only the dirty cone, and
+2. a word-level redundancy analysis
+   (:func:`~repro.incr.analysis.analyze_redundancy`) predicting which
+   nodes the gate-level optimizer would remove,
+
+then scores ``surviving raw area / RTL nodes``, calibrated at
+:meth:`rebase` so the base state's score equals its exact post-synthesis
+PCS.  The estimate ranks candidate rewrites; acceptance is still gated
+by the exact ``synthesize()`` oracle in
+:func:`repro.mcts.optimize.optimize_registers` (the full-resynthesis
+reference path, ``MCTSConfig.incremental=False``, stays available).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..ir import CircuitGraph
+from ..synth.flow import synthesize
+from ..synth.library import DEFAULT_LIBRARY, CellLibrary
+from ..synth.timing import TimingReport
+from .analysis import RedundancyAnalyzer
+from .delta import DeltaNetlist
+from .timing import IncrementalTiming
+
+
+@dataclass
+class IncrementalEval:
+    """Full diagnostics for one candidate evaluation."""
+
+    pcs: float
+    raw_area: float
+    surviving_area: float
+    survivors: int
+    patched: int
+    timing: TimingReport | None = None
+
+
+class IncrementalReward:
+    """Delta-driven approximate PCS with the exact reward's protocol.
+
+    Callable as ``reward(graph, cone) -> float`` like every reward in
+    :mod:`repro.mcts.reward`.  ``rebase`` anchors the delta lineage (and
+    the calibration) on a new base state; calling the reward with a
+    graph whose node schema differs from the base rebases automatically,
+    so the callable is safe to use standalone.
+
+    ``base_pcs`` is the base state's *exact* PCS (one ``synthesize()``
+    per rebase), which the MCTS driver reuses as the oracle's reference
+    value instead of re-synthesizing.
+    """
+
+    def __init__(
+        self,
+        clock_period: float = 2.0,
+        library: CellLibrary = DEFAULT_LIBRARY,
+        strength: int = 1,
+    ):
+        self.clock_period = clock_period
+        self.library = library
+        self.strength = strength
+        self.calls = 0
+        self.patches = 0
+        self.rebases = 0
+        self.base_pcs: float | None = None
+        self._base: DeltaNetlist | None = None
+        self._analyzer: RedundancyAnalyzer | None = None
+        self._timing: IncrementalTiming | None = None
+        self._scale = 1.0
+
+    # ------------------------------------------------------------------
+    def rebase(self, graph: CircuitGraph, exact_pcs: float | None = None) -> None:
+        """Anchor the lineage on ``graph`` and calibrate against exact PCS.
+
+        A no-op when ``graph`` is already the anchored base object (the
+        common case when a cone search accepted nothing), so the per-
+        rebase ``synthesize()`` is only paid when the state changed.
+        Callers that already synthesized this exact graph (the MCTS
+        acceptance oracle) pass ``exact_pcs`` to skip the redundant run;
+        PCS is clock-period independent (area / nodes), so any
+        ``SynthesisReward`` value for the same graph is valid.
+        """
+        if self._base is not None and self._base.graph is graph:
+            return
+        self.rebases += 1
+        if exact_pcs is None:
+            exact_pcs = synthesize(
+                graph, clock_period=self.clock_period, strength=self.strength,
+                library=self.library, check=False,
+            ).pcs
+        self._base = DeltaNetlist.from_graph(graph, check=False)
+        self._analyzer = RedundancyAnalyzer(graph)
+        self._timing = None
+        self.base_pcs = exact_pcs
+        estimate = self._area_of(self._base, self._analyzer.analyze(graph))
+        self._scale = exact_pcs * graph.num_nodes / estimate if estimate else 1.0
+
+    # ------------------------------------------------------------------
+    def _area_of(self, delta: DeltaNetlist, report) -> float:
+        artifacts = delta.artifacts
+        library, strength = self.library, self.strength
+        return sum(
+            artifacts[v].area(library, strength)
+            for v in report.survivors()
+        )
+
+    def _surviving_area(self, delta: DeltaNetlist) -> float:
+        return self._area_of(delta, self._analyzer.analyze(delta.graph))
+
+    def _touched_vs_base(self, graph: CircuitGraph) -> list[int] | None:
+        touched = self._trace_touched(graph)
+        if touched is None:
+            touched = graph.structural_delta(self._base.graph)
+        return touched
+
+    def _delta_for(self, graph: CircuitGraph) -> DeltaNetlist:
+        if self._base is None:
+            self.rebase(graph)
+        base_graph = self._base.graph
+        if graph is base_graph:
+            return self._base
+        delta = self._base.apply_edit(graph, self._trace_touched(graph))
+        if delta.parent is None:
+            # Schema changed: a different design, not an edit -- the
+            # calibration must be re-anchored too.
+            self.rebase(graph)
+            return self._base
+        self.patches += 1
+        return delta
+
+    def _trace_touched(self, graph: CircuitGraph) -> list[int] | None:
+        """Touched nodes recovered from ``apply_swap`` edit provenance.
+
+        Each swap successor records its predecessor state and the two
+        rewired nodes (``graph.edit_origin``); when the chain reaches
+        the anchored base, the union of rewired nodes is a (tight)
+        superset of the diff and the O(nodes) graph comparison is
+        skipped.  Returns ``None`` when the chain does not reach the
+        base, falling back to :meth:`CircuitGraph.structural_delta`.
+        """
+        base_graph = self._base.graph
+        touched: set[int] = set()
+        node = graph
+        for _ in range(256):
+            origin = getattr(node, "edit_origin", None)
+            if origin is None:
+                return None
+            node, rewired = origin
+            touched.update(rewired)
+            if node is base_graph:
+                return sorted(touched)
+        return None
+
+    def __call__(self, graph: CircuitGraph, cone=None) -> float:
+        self.calls += 1
+        if self._base is None:
+            self.rebase(graph)
+        if graph is self._base.graph:
+            return self.base_pcs
+        touched = self._touched_vs_base(graph)
+        if touched is None:
+            # Different schema: a new design, re-anchor everything.
+            self.rebase(graph)
+            return self.base_pcs
+        if not touched:
+            return self.base_pcs
+        self.patches += 1
+        delta = self._base.apply_edit(graph, touched)
+        area = self._area_of(
+            delta, self._analyzer.analyze(graph, touched=touched)
+        )
+        return self._scale * area / max(graph.num_nodes, 1)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, graph: CircuitGraph) -> IncrementalEval:
+        """Scored candidate plus raw area, survivor count and timing.
+
+        Timing comes from :class:`IncrementalTiming` anchored on the
+        current base -- a dirty-cone update, not a full ``synth.timing``
+        pass.
+        """
+        self.calls += 1
+        delta = self._delta_for(graph)
+        report = self._analyzer.analyze(delta.graph)
+        survivors = report.survivors()
+        surviving = sum(
+            delta.node_area(v, self.library, self.strength)
+            for v in survivors
+        )
+        if self._timing is None:
+            self._timing = IncrementalTiming(
+                self._base, self.clock_period, self.library, self.strength
+            )
+        return IncrementalEval(
+            pcs=self._scale * surviving / max(graph.num_nodes, 1),
+            raw_area=delta.total_area(self.library, self.strength),
+            surviving_area=surviving,
+            survivors=len(survivors),
+            patched=len(delta.patched),
+            timing=self._timing.update(delta),
+        )

@@ -1,0 +1,177 @@
+"""Incremental static timing over a :class:`DeltaNetlist` lineage.
+
+``analyze_timing`` re-levelizes and re-propagates the whole netlist on
+every call; :class:`IncrementalTiming` instead computes arrival times
+once for a base delta and, per edited delta, re-propagates only along
+the dirty cone.  Because the dirty cone *is* the transitive
+combinational fanout of the edit, every net outside it keeps its base
+arrival time, and only endpoints (register D pins, primary outputs)
+belonging to patched nodes can change slack.
+
+The produced :class:`~repro.synth.timing.TimingReport` is bit-identical
+to ``analyze_timing`` on a fresh ``elaborate()`` of the edited graph:
+arrival times are ``max`` / ``+`` folds over an isomorphic gate DAG
+with the same cell delays, so even the float values agree exactly.
+"""
+
+from __future__ import annotations
+
+from ..ir import NodeType
+from ..synth.library import DEFAULT_LIBRARY, CellLibrary
+from ..synth.timing import TimingReport
+from .delta import DeltaNetlist, comb_topo_order
+
+_COMB_EXCLUDED = (NodeType.IN, NodeType.CONST, NodeType.REG, NodeType.OUT)
+
+
+class IncrementalTiming:
+    """Arrival/slack state for one delta lineage.
+
+    Bound to the :class:`DeltaNetlist` it was constructed from;
+    :meth:`update` accepts any delta derived from that base (directly or
+    through a chain of ``apply_edit`` calls) and patches arrivals only
+    for the union of the chain's dirty cones.
+    """
+
+    def __init__(
+        self,
+        base: DeltaNetlist,
+        clock_period: float,
+        library: CellLibrary = DEFAULT_LIBRARY,
+        strength: int = 1,
+    ):
+        self.base = base
+        self.clock_period = clock_period
+        self.library = library
+        self.strength = strength
+        self._dff = library.cell("DFF", strength)
+        self._delay = {
+            kind: library.cell(kind, strength).delay
+            for kind in ("NOT", "AND", "OR", "XOR", "MUX")
+        }
+
+        graph = base.graph
+        arrival: dict[int, float] = {base.const0: 0.0, base.const1: 0.0}
+        for art in base.artifacts.values():
+            for _, net in art.pis:
+                arrival[net] = 0.0
+        clk_to_q = self._dff.clk_to_q
+        for reg in graph.registers():
+            for q in base.artifacts[reg].bits:
+                arrival[q] = clk_to_q
+        comb = {
+            n.id for n in graph.nodes() if n.type not in _COMB_EXCLUDED
+        }
+        for v in comb_topo_order(graph, comb):
+            self._propagate(base.artifacts[v].gates, arrival)
+        self._arrival = arrival
+        #: endpoint node (REG or OUT) -> per-bit *arrival* times.  Slacks
+        #: are derived in ``_assemble`` with the identical float ops as
+        #: ``analyze_timing``, keeping reports bit-exact.
+        self._ats: dict[int, list[float]] = {}
+        for v in (*graph.registers(), *graph.outputs()):
+            self._ats[v] = self._endpoint_arrivals(base, v, arrival)
+
+    # ------------------------------------------------------------------
+    def _propagate(self, gates, arrival, overlay=None) -> None:
+        """Arrival times for one node's gates, in emission order."""
+        delay = self._delay
+        read = arrival if overlay is None else overlay
+        for gate in gates:
+            if gate.kind == "DFF":
+                continue  # Q arrival is clk-to-q, stable across edits
+            at = max(read[i] for i in gate.inputs) + delay[gate.kind]
+            if overlay is None:
+                arrival[gate.output] = at
+            else:
+                overlay[gate.output] = at
+
+    def _endpoint_arrivals(self, delta, v, arrival) -> list[float]:
+        node = delta.graph.node(v)
+        art = delta.artifacts[v]
+        if node.type is NodeType.REG:
+            return [arrival[g.inputs[0]] for g in art.gates]
+        return [arrival.get(net, 0.0) for _, net in art.pos]
+
+    # ------------------------------------------------------------------
+    def report(self) -> TimingReport:
+        """Timing of the base delta itself."""
+        return self._assemble(self.base, self._ats)
+
+    def update(self, delta: DeltaNetlist) -> TimingReport:
+        """Timing of ``delta``, touching only its (chain of) dirty cones."""
+        if delta is self.base:
+            return self.report()
+        patched: set[int] = set()
+        node = delta
+        while node is not self.base:
+            if node.parent is None:
+                raise ValueError(
+                    "delta was not derived from this timing's base"
+                )
+            patched |= node.patched
+            node = node.parent
+        graph = delta.graph
+        # Net anchoring keeps *structure* outside the rebuilt set stable,
+        # but arrival times still ripple through the full combinational
+        # fanout of the rebuilt nodes -- recompute along that cone.
+        dirty = delta.dirty_cone(graph, patched)
+        overlay = _Overlay(self._arrival)
+        dirty_comb = {
+            v for v in dirty if graph.node(v).type not in _COMB_EXCLUDED
+        }
+        for v in comb_topo_order(graph, dirty_comb):
+            self._propagate(delta.artifacts[v].gates, None, overlay)
+        ats = dict(self._ats)
+        for v in dirty:
+            if graph.node(v).type in (NodeType.REG, NodeType.OUT):
+                ats[v] = self._endpoint_arrivals(delta, v, overlay)
+        return self._assemble(delta, ats)
+
+    # ------------------------------------------------------------------
+    def _assemble(self, delta, ats) -> TimingReport:
+        graph = delta.graph
+        endpoint_slacks: list[float] = []
+        register_slacks: dict[int, float] = {}
+        critical = 0.0
+        period, setup = self.clock_period, self._dff.setup
+        for reg in graph.registers():
+            per_bit = []
+            for at in ats[reg]:
+                critical = max(critical, at)
+                per_bit.append(period - setup - at)
+            endpoint_slacks.extend(per_bit)
+            if per_bit:
+                register_slacks[reg] = min(per_bit)
+        for out in graph.outputs():
+            for at in ats[out]:
+                critical = max(critical, at)
+                endpoint_slacks.append(period - at)
+        negative = [s for s in endpoint_slacks if s < 0]
+        return TimingReport(
+            clock_period=self.clock_period,
+            wns=min(endpoint_slacks) if endpoint_slacks else 0.0,
+            tns=sum(negative),
+            nvp=len(negative),
+            endpoint_slacks=endpoint_slacks,
+            register_slacks=register_slacks,
+            critical_delay=critical,
+        )
+
+
+class _Overlay(dict):
+    """Write-local view over a base arrival dict (copy-on-write reads)."""
+
+    __slots__ = ("_base",)
+
+    def __init__(self, base: dict):
+        super().__init__()
+        self._base = base
+
+    def __missing__(self, key):
+        return self._base[key]
+
+    def get(self, key, default=None):
+        if key in self:
+            return dict.__getitem__(self, key)
+        return self._base.get(key, default)

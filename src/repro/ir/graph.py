@@ -44,6 +44,7 @@ class CircuitGraph:
         self.name = name
         self._nodes: list[Node] = []
         self._parents: list[list[int | None]] = []
+        self._edge_cache: list[tuple[int, int]] | None = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -74,6 +75,8 @@ class CircuitGraph:
                 f"{len(slots)} parent slots, slot {slot} is out of range"
             )
         slots[slot] = parent
+        self._edge_cache = None
+        self.__dict__.pop("_structural_fp", None)
 
     def set_parents(self, child: int, parents: Iterable[int]) -> None:
         """Fill all parent slots of ``child`` at once."""
@@ -90,6 +93,8 @@ class CircuitGraph:
     def clear_parents(self, child: int) -> None:
         self._check_id(child)
         self._parents[child] = [None] * arity_of(self._nodes[child].type)
+        self._edge_cache = None
+        self.__dict__.pop("_structural_fp", None)
 
     # ------------------------------------------------------------------
     # Inspection
@@ -121,13 +126,32 @@ class CircuitGraph:
         """Parents that are actually connected."""
         return [p for p in self._parents[node_id] if p is not None]
 
+    def parent_rows(self) -> tuple[tuple[int | None, ...], ...]:
+        """All parent slots as one immutable snapshot.
+
+        One call replaces ``num_nodes`` :meth:`parents` calls on paths
+        that key on the whole wiring (structural fingerprints).
+        """
+        return tuple(tuple(slots) for slots in self._parents)
+
     def edges(self) -> Iterator[tuple[int, int]]:
         """Yield directed edges ``(parent, child)`` including duplicates
         when the same driver feeds several slots of one node."""
-        for child, slots in enumerate(self._parents):
-            for parent in slots:
-                if parent is not None:
-                    yield (parent, child)
+        return iter(self.edge_list())
+
+    def edge_list(self) -> list[tuple[int, int]]:
+        """All directed edges as a list, memoized until the next parent
+        mutation -- the repeated-enumeration path of swap sampling."""
+        cached = self._edge_cache
+        if cached is None:
+            cached = [
+                (parent, child)
+                for child, slots in enumerate(self._parents)
+                for parent in slots
+                if parent is not None
+            ]
+            self._edge_cache = cached
+        return cached
 
     def children(self, node_id: int) -> list[int]:
         """All nodes that consume ``node_id`` (computed, deduplicated)."""
@@ -164,6 +188,26 @@ class CircuitGraph:
     def total_register_bits(self) -> int:
         """Sum of widths of all sequential signals (SCPR denominator)."""
         return sum(self._nodes[r].width for r in self.registers())
+
+    def structural_delta(self, other: "CircuitGraph") -> list[int] | None:
+        """Node ids whose parent wiring differs between ``self`` and
+        ``other``, or ``None`` when the node schemas differ (node count,
+        type, width or params) and the graphs are not patch-comparable.
+
+        This is the entry question of incremental re-elaboration
+        (:mod:`repro.incr`): edit moves like the MCTS swap only rewire
+        parents, so the answer is almost always a short list.
+        """
+        if len(other._nodes) != len(self._nodes):
+            return None
+        touched = []
+        for v, (a, b) in enumerate(zip(self._nodes, other._nodes)):
+            if (a.type is not b.type or a.width != b.width
+                    or a.params != b.params or a.name != b.name):
+                return None
+            if self._parents[v] != other._parents[v]:
+                touched.append(v)
+        return touched
 
     # ------------------------------------------------------------------
     # Matrix views

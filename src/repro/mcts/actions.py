@@ -14,7 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..ir import CircuitGraph, find_combinational_cycles
+from ..ir import CircuitGraph, is_sequential
 
 
 @dataclass(frozen=True)
@@ -45,7 +45,14 @@ def is_applicable(graph: CircuitGraph, swap: Swap) -> bool:
 
 
 def apply_swap(graph: CircuitGraph, swap: Swap) -> CircuitGraph | None:
-    """Return the successor state, or ``None`` if the swap violates C."""
+    """Return the successor state, or ``None`` if the swap violates C.
+
+    ``graph`` must itself be free of combinational loops (every state
+    the search visits is).  Removing edges cannot create a cycle, so
+    only the two *new* edges are checked, each with a targeted backward
+    reachability query instead of a whole-graph cycle enumeration --
+    this check sits on the innermost MCTS rollout path.
+    """
     if not is_applicable(graph, swap):
         return None
     out = graph.copy()
@@ -53,9 +60,40 @@ def apply_swap(graph: CircuitGraph, swap: Swap) -> CircuitGraph | None:
     slot_q = graph.parents(swap.q).index(swap.p)
     out.set_parent(swap.j, slot_j, swap.p)
     out.set_parent(swap.q, slot_q, swap.i)
-    if find_combinational_cycles(out, limit=1):
+    if _edge_in_comb_cycle(out, swap.p, swap.j):
         return None
+    if _edge_in_comb_cycle(out, swap.i, swap.q):
+        return None
+    # Edit provenance for the incremental engine: the predecessor state
+    # and the two nodes whose parents changed.  IncrementalReward walks
+    # this chain to recover the touched set without re-diffing graphs.
+    out.edit_origin = (graph, (swap.j, swap.q))
     return out
+
+
+def _edge_in_comb_cycle(graph: CircuitGraph, parent: int, child: int) -> bool:
+    """Does edge ``parent -> child`` lie on a register-free cycle?
+
+    Equivalent to asking whether ``child`` reaches ``parent`` through
+    combinational nodes; walked backwards from ``parent`` via parent
+    edges so no fanout map has to be built.
+    """
+    node = graph.node
+    if is_sequential(node(parent).type) or is_sequential(node(child).type):
+        return False
+    if parent == child:
+        return True
+    filled = graph.filled_parents
+    seen = {parent}
+    stack = [parent]
+    while stack:
+        for p in filled(stack.pop()):
+            if p == child:
+                return True
+            if p not in seen and not is_sequential(node(p).type):
+                seen.add(p)
+                stack.append(p)
+    return False
 
 
 def sample_swaps(
@@ -76,14 +114,11 @@ def sample_swaps(
     fanout, only redirect it.
     """
     cone_set = set(cone_nodes)
-    all_edges = []
-    local_edges = []
-    for child in range(graph.num_nodes):
-        for parent in graph.filled_parents(child):
-            edge = (parent, child)
-            all_edges.append(edge)
-            if parent in cone_set or child in cone_set:
-                local_edges.append(edge)
+    all_edges = graph.edge_list()
+    local_edges = [
+        edge for edge in all_edges
+        if edge[0] in cone_set or edge[1] in cone_set
+    ]
     if not local_edges or len(all_edges) < 2:
         return []
     max_attempts = max_attempts or max_swaps * 12

@@ -25,9 +25,24 @@ from .tree import ConeSearchResult, MCTSOptimizer, RewardFn
 class MCTSConfig:
     """Search budget; paper defaults are 500 simulations, depth 10.
 
+    ``incremental`` routes the search reward through the incremental
+    synthesis engine (:class:`repro.incr.IncrementalReward`): candidate
+    states are delta-elaborated against the cone search's base instead
+    of fully re-synthesized, and scored with a word-level redundancy
+    estimate calibrated to exact PCS at each rebase.  Applies only when
+    no explicit ``reward_fn`` is passed (the default reward would be the
+    exact :class:`~repro.mcts.reward.SynthesisReward`); an explicit
+    reward -- discriminator or exact -- is always used verbatim.  While
+    ``verify_with_synthesis`` is on (the default), acceptance is gated
+    by the exact synthesis oracle, so a misled estimate can never
+    worsen the result; turning verification off makes acceptance follow
+    the estimate alone.  Set to ``False`` for the full-resynthesis
+    reference path.
+
     ``verify_with_synthesis`` guards acceptance when the search reward is
-    an approximation (the discriminator): a cone's best state is only
-    committed if the *true* post-synthesis PCS improved.
+    an approximation (the discriminator or the incremental estimate): a
+    cone's best state is only committed if the *true* post-synthesis PCS
+    improved.
 
     ``cache_rewards`` memoizes reward evaluations on a structural
     fingerprint per cone search (:class:`~repro.mcts.reward.CachedReward`).
@@ -40,6 +55,13 @@ class MCTSConfig:
     simulation of before/after against one shared stimulus, via
     :class:`~repro.mcts.reward.ConeBatchEvaluator`).  Costs two cone
     simulations per *accepted* cone -- microseconds next to the search.
+
+    ``require_functional_equivalence`` promotes that diagnostic into a
+    hard gate: an improved cone state is rejected outright when its
+    cone computes a different function on the shared stimulus -- or
+    when equivalence cannot be established at all (the gate fails
+    closed) -- keeping the search inside the original design's
+    observable behaviour.
     """
 
     num_simulations: int = 500
@@ -47,9 +69,11 @@ class MCTSConfig:
     branching: int = 8
     exploration: float = math.sqrt(2.0)
     clock_period: float = 2.0
+    incremental: bool = True
     verify_with_synthesis: bool = True
     cache_rewards: bool = True
     track_cone_function: bool = True
+    require_functional_equivalence: bool = False
     seed: int = 0
 
 
@@ -62,8 +86,16 @@ class OptimizationReport:
     reward_calls: int = 0
     reward_cache_hits: int = 0
     #: register -> whether the accepted rewrite preserved the cone's
-    #: function (only populated when ``track_cone_function`` is on).
+    #: function (only populated when ``track_cone_function`` is on, plus
+    #: a ``False`` entry per equivalence-gate rejection).
     cone_function_preserved: dict[int, bool] = field(default_factory=dict)
+    #: Whether the incremental reward path was used for the search.
+    incremental: bool = False
+    #: Delta patches / rebases performed by the incremental reward.
+    reward_patches: int = 0
+    reward_rebases: int = 0
+    #: Improved cone states rejected by the functional-equivalence gate.
+    equivalence_rejections: int = 0
 
     @property
     def improved_cones(self) -> int:
@@ -72,6 +104,37 @@ class OptimizationReport:
     @property
     def total_simulations(self) -> int:
         return sum(r.simulations for r in self.cone_results.values())
+
+
+def _resolve_search_rewards(config: MCTSConfig, reward_fn: RewardFn | None):
+    """(search reward, incremental engine or None, oracle or None).
+
+    The incremental engine only stands in for the *default* reward: an
+    explicitly passed ``reward_fn`` -- whether the discriminator or an
+    exact :class:`SynthesisReward` -- is always used verbatim, so the
+    exact-reward arms of ablations and results tables measure what they
+    say.  When the search reward is approximate (discriminator or the
+    incremental estimate) and ``verify_with_synthesis`` is on,
+    acceptance is verified with the exact synthesis PCS so a misled
+    search can never hurt.
+    """
+    exact_reward = reward_fn or SynthesisReward(config.clock_period)
+    incremental = None
+    search_base = exact_reward
+    if config.incremental and reward_fn is None:
+        from ..incr import IncrementalReward
+
+        incremental = IncrementalReward(clock_period=config.clock_period)
+        search_base = incremental
+    oracle = None
+    if config.verify_with_synthesis and not isinstance(
+        search_base, SynthesisReward
+    ):
+        oracle = (
+            exact_reward if isinstance(exact_reward, SynthesisReward)
+            else SynthesisReward(config.clock_period)
+        )
+    return search_base, incremental, oracle
 
 
 def optimize_registers(
@@ -83,23 +146,26 @@ def optimize_registers(
 ) -> OptimizationReport:
     """MCTS optimization of each register cone; returns G_opt."""
     config = config or MCTSConfig()
-    reward_fn = reward_fn or SynthesisReward(config.clock_period)
-    current = graph.copy()
-    report = OptimizationReport(graph=current)
-
-    # When the search reward is approximate, acceptance is verified with
-    # the exact synthesis PCS so a misled search can never hurt.
-    need_verify = config.verify_with_synthesis and not isinstance(
-        reward_fn, SynthesisReward
+    search_base, incremental, oracle = _resolve_search_rewards(
+        config, reward_fn
     )
-    oracle = SynthesisReward(config.clock_period) if need_verify else None
-    current_pcs = oracle(current) if oracle else None
+    current = graph.copy()
+    report = OptimizationReport(
+        graph=current, incremental=incremental is not None
+    )
+    # With the incremental reward, each cone's rebase computes the exact
+    # base PCS anyway; reuse it instead of a redundant oracle call here.
+    current_pcs = (
+        oracle(current) if oracle is not None and incremental is None
+        else None
+    )
     # One evaluator for the whole run: its packed stimulus words are keyed
     # by original-graph node ids, so every candidate netlist (across all
     # cones) is driven by the same shared stimulus.
     evaluator = (
         ConeBatchEvaluator(seed=config.seed)
-        if config.track_cone_function else None
+        if config.track_cone_function or config.require_functional_equivalence
+        else None
     )
 
     cones = all_cones(current)
@@ -109,10 +175,15 @@ def optimize_registers(
     for cone in cones:
         if not cone.interior:
             continue  # nothing to rewire inside a bare feedback register
+        if incremental is not None:
+            # current_pcs, when set, is the oracle's value for this same
+            # graph object -- rebase reuses it instead of re-synthesizing.
+            incremental.rebase(current, exact_pcs=current_pcs)
+            current_pcs = incremental.base_pcs
         # One cache per cone search: within it the cone is fixed, so the
         # reward is a pure function of the structural fingerprint.
         search_reward = (
-            CachedReward(reward_fn) if config.cache_rewards else reward_fn
+            CachedReward(search_base) if config.cache_rewards else search_base
         )
         optimizer = MCTSOptimizer(
             search_reward,
@@ -129,33 +200,81 @@ def optimize_registers(
             report.reward_calls += search_reward.calls
             report.reward_cache_hits += search_reward.hits
         accepted = False
+        rejected = False
+        preserved: bool | None = None
         previous = current
         if result.improved:
-            if oracle is None:
-                current = result.best_graph
-                accepted = True
-            else:
-                candidate_pcs = oracle(result.best_graph)
-                if candidate_pcs > current_pcs + 1e-12:
-                    current = result.best_graph
-                    current_pcs = candidate_pcs
-                    accepted = True
-        if accepted and evaluator is not None:
-            try:
-                report.cone_function_preserved[cone.register] = (
-                    evaluator.signature(previous, cone.register).words
-                    == evaluator.signature(current, cone.register).words
+            if config.require_functional_equivalence and evaluator is not None:
+                preserved = _cone_function_preserved(
+                    evaluator, current, result.best_graph, cone.register
                 )
-            except Exception:  # diagnostic must never sink the search
-                pass
+                if preserved is not True:
+                    # Hard gate fails *closed*: a state whose equivalence
+                    # cannot be established (check errored, preserved is
+                    # None) is rejected like a proven mismatch.
+                    rejected = True
+                    report.equivalence_rejections += 1
+                    if preserved is False:
+                        report.cone_function_preserved[cone.register] = False
+            if not rejected:
+                if oracle is None:
+                    current = result.best_graph
+                    # Without the oracle there is no exact value for the
+                    # new state; the next rebase must re-synthesize.
+                    current_pcs = None
+                    accepted = True
+                else:
+                    candidate_pcs = oracle(result.best_graph)
+                    if candidate_pcs > current_pcs + 1e-12:
+                        current = result.best_graph
+                        current_pcs = candidate_pcs
+                        accepted = True
+        if accepted:
+            # The accepted state becomes the next search base; cut the
+            # swap provenance chain so the intermediate rollout graphs
+            # it references can be reclaimed.
+            current.edit_origin = None
+            if evaluator is not None and config.track_cone_function:
+                if preserved is None:
+                    # The gate (when it ran) compared this same
+                    # (previous, current) pair; reuse its verdict.
+                    preserved = _cone_function_preserved(
+                        evaluator, previous, current, cone.register
+                    )
+                if preserved is not None:
+                    report.cone_function_preserved[cone.register] = preserved
         if verbose:
+            outcome = (
+                "accepted" if accepted
+                else "rejected (function changed)" if rejected else "kept"
+            )
             print(
                 f"[mcts] reg {cone.register}: pcs {result.initial_reward:.3f}"
-                f" -> {result.best_reward:.3f}"
-                f" ({'accepted' if accepted else 'kept'})"
+                f" -> {result.best_reward:.3f} ({outcome})"
             )
+    if incremental is not None:
+        report.reward_patches = incremental.patches
+        report.reward_rebases = incremental.rebases
     report.graph = current
     return report
+
+
+def _cone_function_preserved(
+    evaluator: ConeBatchEvaluator,
+    before: CircuitGraph,
+    after: CircuitGraph,
+    register: int,
+) -> bool | None:
+    """Whether ``register``'s cone computes the same function in both
+    states (``None`` when the check itself fails -- the diagnostic and
+    the gate must never sink the search)."""
+    try:
+        return (
+            evaluator.signature(before, register).words
+            == evaluator.signature(after, register).words
+        )
+    except Exception:
+        return None
 
 
 def random_search_registers(
@@ -172,23 +291,33 @@ def random_search_registers(
     the process."
     """
     config = config or MCTSConfig()
-    reward_fn = reward_fn or SynthesisReward(config.clock_period)
+    search_base, incremental, oracle = _resolve_search_rewards(
+        config, reward_fn
+    )
     rng = np.random.default_rng(config.seed)
     current = graph.copy()
-    report = OptimizationReport(graph=current)
-    need_verify = config.verify_with_synthesis and not isinstance(
-        reward_fn, SynthesisReward
+    report = OptimizationReport(
+        graph=current, incremental=incremental is not None
     )
-    oracle = SynthesisReward(config.clock_period) if need_verify else None
-    current_pcs = oracle(current) if oracle else None
+    current_pcs = (
+        oracle(current) if oracle is not None and incremental is None
+        else None
+    )
+    evaluator = (
+        ConeBatchEvaluator(seed=config.seed)
+        if config.require_functional_equivalence else None
+    )
 
     for cone in all_cones(current):
         if not cone.interior:
             continue
+        if incremental is not None:
+            incremental.rebase(current, exact_pcs=current_pcs)
+            current_pcs = incremental.base_pcs
         children_set = [cone.register, *cone.interior]
         live = driving_cone(current, cone.register)
         search_reward = (
-            CachedReward(reward_fn) if config.cache_rewards else reward_fn
+            CachedReward(search_base) if config.cache_rewards else search_base
         )
         initial = search_reward(current, live)
         best_graph, best_reward = current, initial
@@ -222,17 +351,38 @@ def random_search_registers(
             report.reward_calls += search_reward.calls
             report.reward_cache_hits += search_reward.hits
         if best_reward > initial + 1e-12:
-            if oracle is None:
+            rejected = False
+            if evaluator is not None:
+                # Same hard gate as the MCTS driver: improved states
+                # whose cone function changed (or cannot be checked)
+                # are not committed.
+                preserved = _cone_function_preserved(
+                    evaluator, current, best_graph, cone.register
+                )
+                if preserved is not True:
+                    rejected = True
+                    report.equivalence_rejections += 1
+                    if preserved is False:
+                        report.cone_function_preserved[cone.register] = False
+            if rejected:
+                pass
+            elif oracle is None:
                 current = best_graph
+                current_pcs = None
+                current.edit_origin = None
             else:
                 candidate_pcs = oracle(best_graph)
                 if candidate_pcs > current_pcs + 1e-12:
                     current = best_graph
                     current_pcs = candidate_pcs
+                    current.edit_origin = None
         if verbose:
             print(
                 f"[random] reg {cone.register}: pcs {initial:.3f}"
                 f" -> {best_reward:.3f}"
             )
+    if incremental is not None:
+        report.reward_patches = incremental.patches
+        report.reward_rebases = incremental.rebases
     report.graph = current
     return report

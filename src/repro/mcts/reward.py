@@ -13,16 +13,14 @@ here behind one callable protocol: ``reward(graph, cone) -> float``.
 from __future__ import annotations
 
 import threading
-import zlib
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..ir import CircuitGraph, NUM_TYPES, NodeType, is_sequential
 from ..synth import synthesize
-from ..synth.elaborate import elaborate
-from ..synth.simulate import BitParallelSimulator
-from .cones import Cone, cone_subcircuit, driving_cone
+from ..synth.simulate import BitParallelSimulator, packed_stimulus_word
+from .cones import Cone, canonical_cone, cone_subcircuit, driving_cone
 
 
 class SynthesisReward:
@@ -51,14 +49,24 @@ def structural_fingerprint(graph: CircuitGraph) -> tuple:
     function of.  Computing it is O(nodes), orders of magnitude cheaper
     than one synthesis call, which is what makes :class:`CachedReward`
     pay off.
+
+    The fingerprint is memoized on the graph instance (search states
+    are never mutated after creation, so the hot loop computes each
+    state's key once); ``CircuitGraph.set_parent`` / ``clear_parents``
+    drop the memo, so in-place rewires cannot serve a stale key.
     """
-    return (
-        tuple(
-            (node.type.value, node.width, tuple(sorted(node.params.items())))
-            for node in graph.nodes()
-        ),
-        tuple(tuple(graph.parents(node.id)) for node in graph.nodes()),
-    )
+    cached = graph.__dict__.get("_structural_fp")
+    if cached is None:
+        cached = (
+            tuple(
+                (node.type.value, node.width,
+                 tuple(sorted(node.params.items())) if node.params else ())
+                for node in graph.nodes()
+            ),
+            graph.parent_rows(),
+        )
+        graph._structural_fp = cached
+    return cached
 
 
 class CachedReward:
@@ -80,9 +88,16 @@ class CachedReward:
         self._cache: dict[tuple, float] = {}
 
     def __call__(self, graph: CircuitGraph, cone: Cone | None = None) -> float:
-        cone_key = None if cone is None else (
-            cone.register, tuple(cone.interior), tuple(cone.boundary)
-        )
+        if cone is None:
+            cone_key = None
+        else:
+            # Cones are fixed for a whole search; memoize their key.
+            cone_key = cone.__dict__.get("_cache_key")
+            if cone_key is None:
+                cone_key = (
+                    cone.register, tuple(cone.interior), tuple(cone.boundary)
+                )
+                cone._cache_key = cone_key
         key = (structural_fingerprint(graph), cone_key)
         self.calls += 1
         value = self._cache.get(key)
@@ -125,7 +140,7 @@ class ConeBatchEvaluator:
     """Drive many candidate cone states with one shared packed stimulus.
 
     The MCTS search produces batches of candidate netlists that differ
-    only inside one register's driving cone.  This evaluator elaborates
+    only inside one register's driving cone.  This evaluator lowers
     each candidate's cone sub-circuit and runs the bit-parallel simulator
     (:class:`repro.synth.simulate.BitParallelSimulator`) against stimulus
     words that are packed *once per boundary signal* and reused across
@@ -133,8 +148,15 @@ class ConeBatchEvaluator:
     the sub-circuit port names, so the same net sees the same word no
     matter which candidate is being evaluated.
 
+    Lowering is incremental: per register, the previous candidate's
+    :class:`repro.incr.DeltaNetlist` is kept and the next candidate's
+    sub-circuit is delta-patched onto it (cones are canonicalized so
+    equal membership means an identical node layout); a full tracked
+    elaboration only happens when the cone membership itself changed.
+
     Signatures answer "which candidates compute distinct functions":
-    the functional-diversity diagnostic on search traces, and the
+    the functional-diversity diagnostic on search traces, the optional
+    ``require_functional_equivalence`` hard gate of the search, and the
     ``cone.batch_eval`` microbenchmark kernel in :mod:`repro.bench`.
     """
 
@@ -144,27 +166,50 @@ class ConeBatchEvaluator:
         self.num_cycles = num_cycles
         self.seed = seed
         self._words: dict[tuple[str, int], int] = {}
+        #: register -> last candidate's cone DeltaNetlist (patch base).
+        self._cone_deltas: dict[int, object] = {}
+        self.full_elaborations = 0
+        self.patched_elaborations = 0
 
     # -- shared packed stimulus -----------------------------------------
     def _word_for(self, marker: str, bit: int) -> int:
         key = (marker, bit)
         word = self._words.get(key)
         if word is None:
-            seq = np.random.SeedSequence(
-                [self.seed, zlib.crc32(marker.encode()), bit]
+            word = packed_stimulus_word(
+                self.seed, marker, self.num_cycles, salt=bit
             )
-            bits = np.random.default_rng(seq).integers(
-                0, 2, size=self.num_cycles, dtype=np.uint8
-            )
-            word = int.from_bytes(np.packbits(bits, bitorder="little"), "little")
             self._words[key] = word
         return word
 
     # -- evaluation ------------------------------------------------------
+    def _cone_netlist(self, graph: CircuitGraph, register: int):
+        """Netlist of ``register``'s cone, delta-patched when possible."""
+        from ..incr import DeltaNetlist
+
+        sub = cone_subcircuit(graph, canonical_cone(graph, register))
+        previous = self._cone_deltas.get(register)
+        if previous is None:
+            delta = DeltaNetlist.from_graph(sub, check=False)
+            self.full_elaborations += 1
+        else:
+            delta = previous.apply_edit(sub)
+            if delta.parent is None:
+                # Membership changed: apply_edit already fell back to a
+                # full tracked elaboration -- keep it, don't redo it.
+                self.full_elaborations += 1
+            elif delta.num_nets > 4 * delta.live_nets:
+                # Net-id growth along a long patch chain: rebase.
+                delta = DeltaNetlist.from_graph(sub, check=False)
+                self.full_elaborations += 1
+            else:
+                self.patched_elaborations += 1
+        self._cone_deltas[register] = delta
+        return delta.materialize()
+
     def signature(self, graph: CircuitGraph, register: int) -> ConeSignature:
         """Simulate ``register``'s driving cone in ``graph``."""
-        cone = driving_cone(graph, register)
-        netlist = elaborate(cone_subcircuit(graph, cone), check=False)
+        netlist = self._cone_netlist(graph, register)
         simulator = BitParallelSimulator(netlist)
         inputs = {}
         for name, net in netlist.primary_inputs:

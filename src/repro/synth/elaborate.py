@@ -13,7 +13,7 @@ have an acyclic combinational subgraph), then the D inputs are wired up.
 from __future__ import annotations
 
 from ..ir import CircuitGraph, NodeType, assert_valid
-from .netlist import Netlist
+from .netlist import Gate, Netlist
 
 #: Multiplier operand widths are capped to keep the gate count O(cap^2).
 MUL_WIDTH_CAP = 16
@@ -27,58 +27,91 @@ def elaborate(graph: CircuitGraph, check: bool = True) -> Netlist:
 
 
 class _Elaborator:
-    def __init__(self, graph: CircuitGraph):
+    """Per-node lowering context.
+
+    ``run`` performs a full elaboration; the individual ``lower_*``
+    methods are also driven one node at a time by the incremental engine
+    (:mod:`repro.incr.delta`), which supplies a pre-populated ``bits``
+    map for the untouched region and re-lowers only the dirty cone.
+    """
+
+    def __init__(
+        self,
+        graph: CircuitGraph,
+        netlist: Netlist | None = None,
+        bits: dict[int, list[int]] | None = None,
+    ):
         self.graph = graph
-        self.netlist = Netlist(name=graph.name)
+        self.netlist = netlist if netlist is not None else Netlist(name=graph.name)
         self.netlist.ensure_consts()
-        #: node id -> list of bit nets, LSB first.
-        self.bits: dict[int, list[int]] = {}
+        #: node id -> list of bit nets, LSB first.  Never mutated in
+        #: place: every lowering assigns a fresh list, so callers may
+        #: share bit lists across elaborations.
+        self.bits: dict[int, list[int]] = bits if bits is not None else {}
 
     # ------------------------------------------------------------------
     def run(self) -> Netlist:
         g, nl = self.graph, self.netlist
 
         for node in g.nodes():
-            if node.type is NodeType.IN:
-                self.bits[node.id] = [
-                    nl.add_input(f"{node.name or 'in'}_{node.id}[{b}]")
-                    for b in range(node.width)
-                ]
-            elif node.type is NodeType.CONST:
-                value = int(node.params.get("value", 0))
-                self.bits[node.id] = [
-                    nl.const1 if (value >> b) & 1 else nl.const0
-                    for b in range(node.width)
-                ]
-            elif node.type is NodeType.REG:
-                q_bits = []
-                for b in range(node.width):
-                    q = nl.new_net()
-                    q_bits.append(q)
-                    nl.dff_origin[q] = (node.id, b)
-                self.bits[node.id] = q_bits
+            if node.type in (NodeType.IN, NodeType.CONST, NodeType.REG):
+                self.lower_source(node.id)
 
         for node_id in self._comb_topo_order():
             self._lower_comb(node_id)
 
         # Close register feedback: create the DFF gates now that D exists.
         for reg in g.registers():
-            node = g.node(reg)
-            d_bits = self._operand(g.filled_parents(reg)[0], node.width)
-            for b, (d, q) in enumerate(zip(d_bits, self.bits[reg])):
-                # DFF gates are created with explicit output nets.
-                from .netlist import Gate
-
-                nl.gates.append(Gate("DFF", (d,), q))
+            self.lower_reg_dffs(reg)
 
         for out in g.outputs():
-            node = g.node(out)
-            src = self._operand(g.filled_parents(out)[0], node.width)
-            for b, net in enumerate(src):
-                nl.add_output(f"{node.name or 'out'}_{out}[{b}]", net)
+            self.lower_output(out)
 
         nl.check()
         return nl
+
+    # ------------------------------------------------------------------
+    def lower_source(self, node_id: int) -> None:
+        """Lower an IN / CONST / REG node (REG: Q nets only, no gates)."""
+        nl = self.netlist
+        node = self.graph.node(node_id)
+        if node.type is NodeType.IN:
+            self.bits[node_id] = [
+                nl.add_input(f"{node.name or 'in'}_{node_id}[{b}]")
+                for b in range(node.width)
+            ]
+        elif node.type is NodeType.CONST:
+            value = int(node.params.get("value", 0))
+            self.bits[node_id] = [
+                nl.const1 if (value >> b) & 1 else nl.const0
+                for b in range(node.width)
+            ]
+        elif node.type is NodeType.REG:
+            q_bits = []
+            for b in range(node.width):
+                q = nl.new_net()
+                q_bits.append(q)
+                nl.dff_origin[q] = (node_id, b)
+            self.bits[node_id] = q_bits
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"node {node_id} ({node.type}) is not a source")
+
+    def lower_reg_dffs(self, reg: int) -> None:
+        """Create the DFF gates of one register (Q nets must exist)."""
+        g, nl = self.graph, self.netlist
+        node = g.node(reg)
+        d_bits = self._operand(g.filled_parents(reg)[0], node.width)
+        for d, q in zip(d_bits, self.bits[reg]):
+            # DFF gates are created with explicit (pre-allocated) outputs.
+            nl.gates.append(Gate("DFF", (d,), q))
+
+    def lower_output(self, out: int) -> None:
+        """Wire one OUT node to named primary-output ports."""
+        g, nl = self.graph, self.netlist
+        node = g.node(out)
+        src = self._operand(g.filled_parents(out)[0], node.width)
+        for b, net in enumerate(src):
+            nl.add_output(f"{node.name or 'out'}_{out}[{b}]", net)
 
     # ------------------------------------------------------------------
     def _comb_topo_order(self) -> list[int]:

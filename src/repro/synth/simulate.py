@@ -440,6 +440,25 @@ class BitParallelSimulator:
                 words[out] = ((words[a] << 1) | state[out]) & mask
 
 
+def packed_stimulus_word(seed: int, key: str, num_cycles: int, salt: int = 0) -> int:
+    """Deterministic random packed input word (bit ``t`` = cycle ``t``).
+
+    One recipe shared by every consumer that drives many netlists with
+    one stimulus (batched cone evaluation, the incremental candidate
+    queue): the word depends only on ``(seed, key, salt)``, never on
+    which candidate is being simulated.
+    """
+    import zlib
+
+    import numpy as np
+
+    sequence = np.random.SeedSequence([seed, zlib.crc32(key.encode()), salt])
+    bits = np.random.default_rng(sequence).integers(
+        0, 2, size=num_cycles, dtype=np.uint8
+    )
+    return int.from_bytes(np.packbits(bits, bitorder="little"), "little")
+
+
 def pack_word(values: dict[str, bool], prefix: str) -> int:
     """Assemble an integer from output bits named ``{prefix}[b]``."""
     word = 0
