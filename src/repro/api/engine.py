@@ -16,6 +16,14 @@ session artifact store) can be injected through ``fit``'s keyword-only
 The ``use_diffusion=False`` switch reproduces the paper's "SynCircuit
 w/o diff" ablation: G_ini and P_E are replaced by random edges at the
 training-set density while the rest of the pipeline is unchanged.
+
+Performance notes: Phase 1 supports batched sampling (:meth:`presample`
+groups equal-size items through shared denoiser forwards, bit-identical
+to per-item draws), and Phase 3's search states are copy-on-write
+:class:`repro.ir.GraphView` overlays over the refined design -- swap
+successors share node/parent storage with their base and the accepted
+result is materialized back into a plain, independent
+:class:`~repro.ir.CircuitGraph` before it leaves ``generate_one``.
 """
 
 from __future__ import annotations
@@ -30,6 +38,7 @@ from ..diffusion import (
     AttributeSampler,
     DiffusionConfig,
     TrainedDiffusion,
+    sample_batch,
     sample_initial_graph,
     train_diffusion,
 )
@@ -176,6 +185,31 @@ class SynCircuit:
         return self.attributes is not None
 
     # ------------------------------------------------------------------
+    def presample(
+        self,
+        sizes: list[int],
+        rngs: list[np.random.Generator],
+    ) -> tuple[list, float]:
+        """Phase 1 for many items at once.
+
+        Returns ``(samples, per_item_seconds)`` where ``samples[k]`` is
+        the :class:`~repro.diffusion.sample.SampleResult` for item ``k``
+        (``None`` for every item in the ``use_diffusion=False``
+        ablation, whose random phase 1 stays inside ``generate_one`` to
+        preserve its rng stream).  Equal-size items share each denoiser
+        forward through :func:`repro.diffusion.sample_batch`, and every
+        sample is bit-identical to what ``generate_one`` would have
+        drawn item by item from the same generators.
+        """
+        self._check_fitted()
+        if not self.config.use_diffusion or not sizes:
+            return [None] * len(sizes), 0.0
+        assert self.trained is not None
+        started = time.perf_counter()
+        samples = sample_batch(self.trained, sizes, rngs)
+        elapsed = time.perf_counter() - started
+        return samples, elapsed / len(sizes)
+
     def generate_one(
         self,
         num_nodes: int,
@@ -183,18 +217,27 @@ class SynCircuit:
         optimize: bool = True,
         name: str = "synthetic",
         mcts_config: MCTSConfig | None = None,
+        presampled: tuple | None = None,
     ) -> GenerationRecord:
         """Run the three phases for a single circuit.
 
         ``mcts_config`` overrides the engine config's Phase 3 settings
         for this call only (the session uses it for request-scoped
         knobs like ``GenerateRequest.incremental`` without mutating the
-        shared config across worker threads).
+        shared config across worker threads).  ``presampled`` is a
+        ``(SampleResult, sample_seconds)`` pair from :meth:`presample`:
+        phase 1 is then skipped here (the batch already consumed this
+        item's rng draws for it) and the shared forward's per-item wall
+        share is recorded as the ``sample`` timing.
         """
         self._check_fitted()
         timings: dict[str, float] = {}
         started = time.perf_counter()
-        if self.config.use_diffusion:
+        if presampled is not None and presampled[0] is not None:
+            sample, timings["sample"] = presampled
+            types, widths = sample.types, sample.widths
+            adjacency, probability = sample.adjacency, sample.edge_probability
+        elif self.config.use_diffusion:
             assert self.trained is not None
             sample = sample_initial_graph(self.trained, num_nodes, rng=rng)
             types, widths = sample.types, sample.widths
@@ -210,7 +253,7 @@ class SynCircuit:
             )
             adjacency = rng.random((num_nodes, num_nodes)) < density
             probability = rng.random((num_nodes, num_nodes))
-        timings["sample"] = time.perf_counter() - started
+        timings.setdefault("sample", time.perf_counter() - started)
 
         started = time.perf_counter()
         g_val = refine_to_valid(

@@ -146,17 +146,45 @@ class Session:
         return self
 
     # -- generation ------------------------------------------------------
+    @staticmethod
+    def _draw_sizes(
+        request: GenerateRequest, rngs: list[np.random.Generator]
+    ) -> list[int]:
+        """Per-item node counts, drawn from each item's rng *first*.
+
+        The draw order is load-bearing: every path (sequential, batch,
+        streaming) must consume each item's generator identically or
+        the bit-identity guarantee between them breaks, so the logic
+        lives in exactly one place.
+        """
+        nodes = request.nodes
+        if isinstance(nodes, tuple):
+            return [int(rng.integers(nodes[0], nodes[1] + 1)) for rng in rngs]
+        return [int(nodes)] * len(rngs)
+
+    def _prepare_items(self, request: GenerateRequest):
+        """Per-item rngs, node counts, and batched phase-1 samples.
+
+        Node counts come off each item's rng first -- the same order the
+        per-item path used -- then
+        :meth:`repro.api.engine.SynCircuit.presample` runs the reverse
+        diffusion for all items with shared denoiser forwards.  Both the
+        sequential and the parallel generation paths consume the same
+        prepared items, which keeps them trivially bit-identical.
+        """
+        rngs = _item_rngs(request.seed, request.count)
+        sizes = self._draw_sizes(request, rngs)
+        samples, per_item = self.engine.presample(sizes, rngs)
+        return rngs, sizes, [(sample, per_item) for sample in samples]
+
     def _generate_item(
         self,
         index: int,
         rng: np.random.Generator,
         request: GenerateRequest,
+        num_nodes: int,
+        presampled: tuple | None = None,
     ) -> GenerationRecord:
-        nodes = request.nodes
-        if isinstance(nodes, tuple):
-            n = int(rng.integers(nodes[0], nodes[1] + 1))
-        else:
-            n = int(nodes)
         mcts_config = None
         if (request.incremental is not None
                 and request.incremental != self.config.mcts.incremental):
@@ -167,10 +195,11 @@ class Session:
                 self.config.mcts, incremental=request.incremental
             )
         return self.engine.generate_one(
-            n, rng,
+            num_nodes, rng,
             optimize=request.optimize,
             name=f"{request.name_prefix}{index}",
             mcts_config=mcts_config,
+            presampled=presampled,
         )
 
     def _finalize(
@@ -199,9 +228,9 @@ class Session:
         """Sequential generation (the reference path for determinism)."""
         request = request or GenerateRequest(**kwargs)
         started = time.perf_counter()
-        rngs = _item_rngs(request.seed, request.count)
+        rngs, sizes, samples = self._prepare_items(request)
         records = [
-            self._generate_item(k, rngs[k], request)
+            self._generate_item(k, rngs[k], request, sizes[k], samples[k])
             for k in range(request.count)
         ]
         return self._finalize(records, request, started)
@@ -213,15 +242,20 @@ class Session:
 
         Per-item seed derivation makes the output bit-identical to
         :meth:`generate` for the same request; only wall-clock changes.
+        Phase 1 runs up front as one batched diffusion pass (equal-size
+        items share each denoiser forward); the workers then fan out
+        over refinement and optimization.
         """
         request = request or GenerateRequest(**kwargs)
         if request.workers <= 1:
             return self.generate(request)
         started = time.perf_counter()
-        rngs = _item_rngs(request.seed, request.count)
+        rngs, sizes, samples = self._prepare_items(request)
         with ThreadPoolExecutor(max_workers=request.workers) as pool:
             records = list(pool.map(
-                lambda k: self._generate_item(k, rngs[k], request),
+                lambda k: self._generate_item(
+                    k, rngs[k], request, sizes[k], samples[k]
+                ),
                 range(request.count),
             ))
         return self._finalize(records, request, started)
@@ -233,16 +267,41 @@ class Session:
         complete, so consumers can pipeline without waiting for the
         whole batch.  Same determinism guarantee as the batch path."""
         request = request or GenerateRequest(**kwargs)
+        # Streaming keeps its first-record-latency contract: phase 1 is
+        # presampled in bounded chunks rather than for the whole batch
+        # up front.  Grouped forwards only share *compute* -- every item
+        # draws from its own generator -- so chunking cannot change any
+        # output bit relative to generate()/generate_batch().
         rngs = _item_rngs(request.seed, request.count)
+        sizes = self._draw_sizes(request, rngs)
+        chunk = max(request.workers, 1) * 4
+
+        def chunk_items(lo: int):
+            hi = min(lo + chunk, request.count)
+            samples, per_item = self.engine.presample(
+                sizes[lo:hi], rngs[lo:hi]
+            )
+            return [
+                (k, (samples[k - lo], per_item))
+                for k in range(lo, hi)
+            ]
+
         if request.workers <= 1:
-            for k in range(request.count):
-                yield self._generate_item(k, rngs[k], request)
+            for lo in range(0, request.count, chunk):
+                for k, presampled in chunk_items(lo):
+                    yield self._generate_item(
+                        k, rngs[k], request, sizes[k], presampled
+                    )
             return
         with ThreadPoolExecutor(max_workers=request.workers) as pool:
-            yield from pool.map(
-                lambda k: self._generate_item(k, rngs[k], request),
-                range(request.count),
-            )
+            for lo in range(0, request.count, chunk):
+                yield from pool.map(
+                    lambda item: self._generate_item(
+                        item[0], rngs[item[0]], request,
+                        sizes[item[0]], item[1],
+                    ),
+                    chunk_items(lo),
+                )
 
     # -- synthesis -------------------------------------------------------
     def _resolve_design(self, design: str | CircuitGraph) -> CircuitGraph:

@@ -21,6 +21,7 @@ from .report import (
     Regression,
     compare,
     git_revision,
+    render_profile,
 )
 from .suites import SIM_CYCLES, build_suite, run_suite
 
@@ -34,6 +35,7 @@ __all__ = [
     "build_suite",
     "compare",
     "git_revision",
+    "render_profile",
     "run_benchmark",
     "run_suite",
 ]

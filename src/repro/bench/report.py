@@ -135,6 +135,50 @@ class BenchReport:
         return "\n".join(lines)
 
 
+def render_profile(
+    current: BenchReport, baseline: BenchReport | None
+) -> str:
+    """Hot-loop profile table: per-op cost and drift vs a baseline.
+
+    This is the ``repro bench --profile`` view -- the per-candidate /
+    per-simulation numbers the ROADMAP tracks, compared against the
+    committed ``BENCH_<suite>.json`` so a hot-loop regression is visible
+    in the terminal without opening the JSON.
+    """
+    baseline_by_name = (
+        {record.name: record for record in baseline.records}
+        if baseline is not None else {}
+    )
+    header = (
+        f"{'benchmark':<28s}{'best':>10s}{'per-op':>12s}"
+        f"{'baseline':>10s}{'delta':>8s}"
+    )
+    lines = [header, "-" * len(header)]
+    for record in current.records:
+        per_op = (
+            f"{record.wall_best * 1e3 / record.ops:>10.3f}ms"
+            if record.ops else f"{'-':>12s}"
+        )
+        base = baseline_by_name.get(record.name)
+        if base is not None and base.wall_best > 0:
+            delta = record.wall_best / base.wall_best - 1.0
+            base_col = f"{base.wall_best * 1e3:>8.2f}ms"
+            delta_col = f"{delta:>+8.0%}"
+        else:
+            base_col = f"{'-':>10s}"
+            delta_col = f"{'-':>8s}"
+        lines.append(
+            f"{record.name:<28s}{record.wall_best * 1e3:>8.2f}ms"
+            f"{per_op}{base_col}{delta_col}"
+        )
+    if baseline is not None:
+        lines.append(
+            f"(baseline rev {baseline.git_rev}, "
+            f"config {baseline.config_fingerprint[:12]})"
+        )
+    return "\n".join(lines)
+
+
 @dataclass(frozen=True)
 class Regression:
     """One benchmark that got slower than the gate allows."""

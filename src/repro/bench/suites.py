@@ -15,6 +15,8 @@ deliberately spans the whole stack:
 * ``mcts.optimize_incremental`` -- the same loop with the incremental
   reward engine explicitly enabled (pinned even if presets change)
 * ``diffusion.sample`` -- Phase 1 reverse denoising
+* ``diffusion.sample_batch`` -- several samples through shared denoiser
+  forwards (the ``generate_batch`` phase-1 path)
 * ``metrics.structural`` -- Table II structural-similarity metrics
 * ``e2e.generate``     -- one full Session.generate (all three phases)
 """
@@ -209,6 +211,16 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
         sample_initial_graph(trained, 48, rng=rng)
         return None
 
+    def diffusion_batch_run(trained):
+        from ..diffusion import sample_batch
+
+        rngs = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(seed).spawn(4)
+        ]
+        sample_batch(trained, [48, 48, 48, 48], rngs)
+        return 4
+
     # -- structural metrics ---------------------------------------------
     def metrics_setup():
         reference = reference_designs()["core_like"]
@@ -272,6 +284,14 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
                       meta={"nodes": 48,
                             "epochs": config.diffusion.epochs}),
         )
+        benchmarks.insert(
+            9,
+            Benchmark("diffusion.sample_batch", diffusion_setup,
+                      diffusion_batch_run,
+                      meta={"nodes": 48, "batch": 4,
+                            "epochs": config.diffusion.epochs,
+                            "note": "shared denoiser forwards"}),
+        )
     return benchmarks
 
 
@@ -317,6 +337,20 @@ def run_suite(
     if scalar and packed and packed.wall_best > 0:
         packed.meta["speedup_vs_scalar"] = round(
             scalar.wall_best / packed.wall_best, 2
+        )
+    # Per-candidate cost of the batched evaluation kernels: the number
+    # the CI bench-smoke job gates (compile/patch time must stay flat
+    # per candidate, whatever the batch size of the run).
+    for name in ("incr.batch_queue", "cone.batch_eval"):
+        record = by_name.get(name)
+        if record and record.ops:
+            record.meta["ms_per_candidate"] = round(
+                record.wall_best * 1000.0 / record.ops, 4
+            )
+    batch = by_name.get("diffusion.sample_batch")
+    if batch and batch.ops:
+        batch.meta["ms_per_graph"] = round(
+            batch.wall_best * 1000.0 / batch.ops, 4
         )
 
     return BenchReport.stamped(

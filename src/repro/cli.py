@@ -178,7 +178,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import BenchReport, compare, run_suite
+    from .bench import BenchReport, compare, render_profile, run_suite
 
     report = run_suite(
         preset=args.preset,
@@ -188,11 +188,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         filter_pattern=args.filter,
         progress=print,
     )
-    print(report.render())
     # Load the baseline *before* writing: with the default output path
     # `repro bench --compare BENCH_smoke.json` would otherwise overwrite
     # the baseline and then compare the fresh report against itself.
     baseline = BenchReport.load(args.compare) if args.compare else None
+    if args.profile:
+        # The hot-loop profile view: per-op cost plus drift against the
+        # committed baseline (explicit --compare, or BENCH_<suite>.json
+        # next to the working directory when present).
+        profile_base = baseline
+        if profile_base is None:
+            default_baseline = pathlib.Path(f"BENCH_{report.suite}.json")
+            if default_baseline.exists():
+                profile_base = BenchReport.load(default_baseline)
+        print(render_profile(report, profile_base))
+    else:
+        print(report.render())
     output = args.output or f"BENCH_{report.suite}.json"
     report.write(output)
     print(f"wrote {output} (rev {report.git_rev}, "
@@ -325,6 +336,11 @@ def build_parser() -> argparse.ArgumentParser:
     p_bench.add_argument(
         "--compare", default=None, metavar="BASELINE",
         help="baseline BENCH_*.json; exit 1 on regression",
+    )
+    p_bench.add_argument(
+        "--profile", action="store_true",
+        help="print per-op costs and drift vs the committed baseline "
+             "(BENCH_<suite>.json or --compare) instead of the raw table",
     )
     p_bench.add_argument(
         "--max-regression", type=float, default=2.0,

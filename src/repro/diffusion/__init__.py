@@ -3,7 +3,7 @@
 from .features import AttributeSampler, graph_attributes, width_bucket
 from .model import DenoisingNetwork, DirectedMPNNEncoder, TransEDecoder
 from .persist import load_trained, save_trained
-from .sample import SampleResult, sample_initial_graph
+from .sample import SampleResult, sample_batch, sample_initial_graph
 from .schedule import NoiseSchedule
 from .train import DiffusionConfig, TrainedDiffusion, train_diffusion
 
@@ -18,6 +18,7 @@ __all__ = [
     "TransEDecoder",
     "graph_attributes",
     "load_trained",
+    "sample_batch",
     "sample_initial_graph",
     "save_trained",
     "train_diffusion",

@@ -76,3 +76,78 @@ def sample_initial_graph(
         types=types,
         widths=widths,
     )
+
+
+def sample_batch(
+    trained: TrainedDiffusion,
+    sizes: list[int],
+    rngs: list[np.random.Generator],
+) -> list[SampleResult]:
+    """Reverse-sample many graphs, sharing denoiser forwards.
+
+    Items are grouped by node count and each group walks the reverse
+    process in lockstep: per step, one
+    :meth:`~repro.diffusion.model.DenoisingNetwork.predict_full_batch`
+    forward scores the whole group (row-stacked GEMMs), while every
+    stochastic draw still comes from the item's own generator in the
+    same order as :func:`sample_initial_graph` would consume it.  The
+    result list is therefore element-wise bit-identical to calling
+    :func:`sample_initial_graph` per item -- the property the session
+    API's sequential/parallel equivalence guarantee rests on -- at a
+    fraction of the Python and BLAS dispatch overhead.
+    """
+    if len(sizes) != len(rngs):
+        raise ValueError("sizes and rngs must have equal length")
+    from .features import width_bucket
+    from .schedule import NoiseSchedule
+
+    # Attribute sampling consumes each item's rng first, exactly like
+    # the per-item path (item order is irrelevant: rngs are private).
+    attrs = [
+        trained.attributes.sample(int(n), rng) for n, rng in zip(sizes, rngs)
+    ]
+    results: list[SampleResult | None] = [None] * len(sizes)
+    groups: dict[int, list[int]] = {}
+    for index, n in enumerate(sizes):
+        groups.setdefault(int(n), []).append(index)
+
+    model = trained.model
+    steps = trained.schedule.num_steps
+    for n, members in groups.items():
+        schedule = NoiseSchedule.cosine(steps, trained.target_density(n))
+        bias = trained.calibration_bias(n)
+        types = np.stack([np.asarray(attrs[k][0], dtype=np.int64)
+                          for k in members])
+        widths = np.stack([np.asarray(attrs[k][1], dtype=np.int64)
+                           for k in members])
+        buckets = np.array(
+            [[width_bucket(int(w)) for w in row] for row in widths],
+            dtype=np.int64,
+        )
+        a_t = np.stack([
+            schedule.prior_sample((n, n), rngs[k]) for k in members
+        ])
+        p_x0 = np.full((len(members), n, n), schedule.noise_density)
+        for t in range(steps, 0, -1):
+            p_x0 = model.predict_full_batch(
+                types, buckets, a_t, t / steps, logit_bias=bias
+            )
+            if t > 1:
+                p_prev = schedule.posterior_probability(a_t, p_x0, t)
+                a_t = np.stack([
+                    rngs[k].random((n, n)) < p_prev[b]
+                    for b, k in enumerate(members)
+                ])
+            else:
+                a_t = np.stack([
+                    rngs[k].random((n, n)) < p_x0[b]
+                    for b, k in enumerate(members)
+                ])
+        for b, k in enumerate(members):
+            results[k] = SampleResult(
+                adjacency=a_t[b].astype(bool),
+                edge_probability=p_x0[b],
+                types=types[b],
+                widths=widths[b],
+            )
+    return results  # type: ignore[return-value]

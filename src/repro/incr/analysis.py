@@ -82,52 +82,92 @@ _TYPE_CODE = {
 
 
 class RedundancyAnalyzer:
-    """Schema-bound analyzer, reusable across candidate wirings."""
+    """Schema-bound analyzer, reusable across candidate wirings.
 
-    def __init__(self, graph: CircuitGraph):
+    ``share_from`` reuses a previous analyzer's schema-static tables
+    (types, masks, signatures, fold codes, ...) when both graphs share
+    the same node storage -- the case for every rebase of one search
+    run, whose states are copy-on-write views over one base.  Only the
+    wiring-derived evaluation order is recomputed then.
+    """
+
+    def __init__(
+        self,
+        graph: CircuitGraph,
+        share_from: "RedundancyAnalyzer | None" = None,
+    ):
         nodes = list(graph.nodes())
-        self.num_nodes = len(nodes)
-        self.types = [n.type for n in nodes]
-        self.widths = [n.width for n in nodes]
-        self.masks = [(1 << n.width) - 1 for n in nodes]
-        self.slice_lo = [int(n.params.get("lo", 0)) for n in nodes]
-        #: Schema-static dedup-signature prefix per node.
-        self.static_sig = [
-            (n.type.value, n.width, tuple(sorted(n.params.items())))
-            for n in nodes
-        ]
-        self.commutative = [n.type in _COMMUTATIVE for n in nodes]
-        self.codes = [_TYPE_CODE.get(n.type, -1) for n in nodes]
-        #: Initial refs: constants fold immediately, everything else is
-        #: its own representative.
-        self.init_refs: list[Ref] = [
-            ("c", int(n.params.get("value", 0)) & self.masks[n.id])
-            if n.type is NodeType.CONST else ("n", n.id, n.width)
-            for n in nodes
-        ]
-        self.outputs = graph.outputs()
-        #: SLICE / CONCAT never emit gates; their rewiring is static.
-        self.static_rewired = frozenset(
-            n.id for n in nodes
-            if n.type in (NodeType.SLICE, NodeType.CONCAT)
-        )
+        self._schema_nodes = graph._nodes
+        if (share_from is not None
+                and share_from._schema_nodes is graph._nodes):
+            self.num_nodes = share_from.num_nodes
+            self.types = share_from.types
+            self.widths = share_from.widths
+            self.masks = share_from.masks
+            self.slice_lo = share_from.slice_lo
+            self.static_sig = share_from.static_sig
+            self.commutative = share_from.commutative
+            self.codes = share_from.codes
+            self.init_refs = share_from.init_refs
+            self.outputs = share_from.outputs
+            self.static_rewired = share_from.static_rewired
+            self._comb = share_from._comb
+            self._keepable = share_from._keepable
+        else:
+            self.num_nodes = len(nodes)
+            self.types = [n.type for n in nodes]
+            self.widths = [n.width for n in nodes]
+            self.masks = [(1 << n.width) - 1 for n in nodes]
+            self.slice_lo = [int(n.params.get("lo", 0)) for n in nodes]
+            #: Schema-static dedup-signature prefix per node.
+            self.static_sig = [
+                (n.type.value, n.width, tuple(sorted(n.params.items())))
+                for n in nodes
+            ]
+            self.commutative = [n.type in _COMMUTATIVE for n in nodes]
+            self.codes = [_TYPE_CODE.get(n.type, -1) for n in nodes]
+            #: Initial refs: constants fold immediately, everything else
+            #: is its own representative.
+            self.init_refs = [
+                ("c", int(n.params.get("value", 0)) & self.masks[n.id])
+                if n.type is NodeType.CONST else ("n", n.id, n.width)
+                for n in nodes
+            ]
+            self.outputs = graph.outputs()
+            #: SLICE / CONCAT never emit gates; rewiring is static.
+            self.static_rewired = frozenset(
+                n.id for n in nodes
+                if n.type in (NodeType.SLICE, NodeType.CONCAT)
+            )
+            self._comb = {
+                n.id for n in nodes
+                if n.type not in (NodeType.IN, NodeType.CONST, NodeType.REG,
+                                  NodeType.OUT)
+            }
+            #: Nodes that can appear in ``kept`` at all (schema-static).
+            self._keepable = [
+                n.id for n in nodes if n.type not in _FIXED
+            ]
         #: Evaluation order: combinational topo order of the *analyzer's*
         #: graph, then registers.  For candidate states with rewired
         #: edges the order is only near-topological; the fixpoint rounds
         #: absorb the difference.
         from .delta import comb_topo_order
 
-        comb = {
-            n.id for n in nodes
-            if n.type not in (NodeType.IN, NodeType.CONST, NodeType.REG,
-                              NodeType.OUT)
-        }
         self.order = [
-            *comb_topo_order(graph, comb),
+            *comb_topo_order(graph, self._comb),
             *(n.id for n in nodes if n.type is NodeType.REG),
         ]
         self._pos = {v: i for i, v in enumerate(self.order)}
-        self._comb = comb
+        #: Per-node static fields pre-zipped in evaluation order, so the
+        #: fixpoint loop does one tuple unpack instead of five indexed
+        #: list reads per node per round.
+        self._order_static = [
+            (v, self.codes[v], self.widths[v], self.masks[v],
+             self.commutative[v], self.static_sig[v],
+             v in self.static_rewired)
+            for v in self.order
+        ]
 
     # ------------------------------------------------------------------
     def analyze(
@@ -146,14 +186,17 @@ class RedundancyAnalyzer:
         path for candidate states that differ from a search base by a
         few swaps.
         """
-        parents = [graph.filled_parents(v) for v in range(self.num_nodes)]
+        # Bulk read-only wiring snapshot: memoized on the graph (and for
+        # copy-on-write views derived from the base's snapshot), so one
+        # candidate evaluation no longer pays num_nodes method calls.
+        parents = graph.filled_rows()
         refs = list(self.init_refs)
         rewired: set[int] = set(self.static_rewired)
         single_round_ok = touched is not None and self._order_valid(
             parents, touched
         )
         rounds = self._fixpoint(
-            parents, refs, rewired, self.order, max_rounds,
+            parents, refs, rewired, self._order_static, max_rounds,
             single_round_ok=single_round_ok,
         )
         return self._report(parents, refs, rewired, rounds)
@@ -172,11 +215,9 @@ class RedundancyAnalyzer:
         return True
 
     def _report(self, parents, refs, rewired, rounds) -> RedundancyReport:
-        types = self.types
         kept = {
-            v for v in range(self.num_nodes)
+            v for v in self._keepable
             if refs[v][0] == "n" and refs[v][1] == v
-            and types[v] not in _FIXED
         }
         live = self._backward_live(parents, refs)
         return RedundancyReport(
@@ -194,22 +235,17 @@ class RedundancyAnalyzer:
         stops after round one unless a register's reference changed --
         registers are the only nodes evaluated after their consumers.
         """
-        widths, masks = self.widths, self.masks
-        codes, types = self.codes, self.types
-        commutative, static_sig = self.commutative, self.static_sig
+        types, widths = self.types, self.widths
         rounds = 0
         reg_changed = False
 
         for rounds in range(1, max_rounds + 1):
             changed = False
             seen: dict[tuple, Ref] = {}
-            for v in order:
-                code = codes[v]
-                w = widths[v]
-                mask = masks[v]
+            for v, code, w, mask, commutative_v, sig_v, static_rw in order:
                 pv = parents[v]
                 ref = None
-                rewire = v in self.static_rewired
+                rewire = static_rw
 
                 if code == _K_REG:
                     if pv:
@@ -315,10 +351,10 @@ class RedundancyAnalyzer:
                     ref = ("n", v, w)
                     # Duplicate merging, registers included (the DFF
                     # next-state merge of repro.synth.passes._dedupe).
-                    canon = tuple(refs[p] for p in pv)
-                    if commutative[v]:
+                    canon = tuple([refs[p] for p in pv])
+                    if commutative_v:
                         canon = tuple(sorted(canon))
-                    key = (static_sig[v], canon)
+                    key = (sig_v, canon)
                     prior = seen.get(key)
                     if prior is not None:
                         ref = _trunc(prior, w)

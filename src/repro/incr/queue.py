@@ -1,13 +1,17 @@
 """Batched candidate evaluation over delta netlists.
 
 :class:`CandidateQueue` collects pending candidate states of one design
-(e.g. the MCTS candidate edits of a cone search), materializes each
-candidate's :class:`~repro.incr.delta.DeltaNetlist` patch against the
-shared base, and drives all of them through the packed bit-parallel
-simulator with *one* shared stimulus: input words are drawn once per
-primary-input name and reused for every candidate, so output words are
-directly comparable across the batch (equal words == same observed
-function).
+(e.g. the MCTS candidate edits of a cone search), derives each
+candidate's :class:`~repro.incr.delta.DeltaNetlist` -- chained from its
+edit provenance when the predecessor state is known, so a swap
+successor re-lowers one dirty cone rather than the union since the
+base -- and drives all of them through one
+:class:`~repro.synth.simulate.PatchableSimulator` with *one* shared
+stimulus: the compiled plan is re-linked per candidate (no
+``materialize()``, no per-candidate Kahn/Tarjan compile), input words
+are drawn once per primary-input name and reused for every candidate,
+so output words are directly comparable across the batch (equal words
+== same observed function).
 
 Each flushed :class:`CandidateResult` carries the functional signature,
 the raw mapped area and (when a clock period is configured) an
@@ -21,7 +25,7 @@ from dataclasses import dataclass
 
 from ..ir import CircuitGraph
 from ..synth.library import DEFAULT_LIBRARY, CellLibrary
-from ..synth.simulate import BitParallelSimulator, packed_stimulus_word
+from ..synth.simulate import PatchableSimulator, packed_stimulus_word
 from ..synth.timing import TimingReport
 from .delta import DeltaNetlist
 from .timing import IncrementalTiming
@@ -70,9 +74,21 @@ class CandidateQueue:
             IncrementalTiming(self.base, clock_period, library, strength)
             if clock_period is not None else None
         )
+        #: Compiled-plan simulator patched per candidate delta: the
+        #: per-candidate Kahn/Tarjan/opcode compile (and the
+        #: ``materialize()`` feeding it) is gone from the flush loop.
+        self.simulator = PatchableSimulator(self.base)
         self._pending: list[CircuitGraph] = []
         self._words: dict[str, int] = {}
+        #: id(graph) -> (graph, delta): lets a candidate whose edit
+        #: provenance points at an already-evaluated state patch from
+        #: *that* delta (dirty cone of one swap) instead of re-deriving
+        #: the whole chain against the base.
+        self._deltas: dict[int, tuple[CircuitGraph, DeltaNetlist]] = {
+            id(base_graph): (base_graph, self.base),
+        }
         self.evaluated = 0
+        self.chained = 0
 
     # -- shared packed stimulus -----------------------------------------
     def stimulus_word(self, name: str) -> int:
@@ -108,13 +124,50 @@ class CandidateQueue:
         return self.flush()
 
     # ------------------------------------------------------------------
-    def _evaluate(self, index: int, graph: CircuitGraph) -> CandidateResult:
+    def _delta_for(self, graph: CircuitGraph) -> DeltaNetlist:
+        """Delta for one candidate, chained from its edit provenance.
+
+        ``apply_swap`` successors name their predecessor state and the
+        two rewired nodes; when that predecessor's delta is known, the
+        candidate re-lowers one swap's dirty cone instead of the union
+        of every edit since the base.  Chains whose net-id growth passes
+        the rebase guard, and candidates without usable provenance, fall
+        back to a patch against the base.
+        """
+        entry = self._deltas.get(id(graph))
+        if entry is not None and entry[0] is graph:
+            return entry[1]
+        origin = getattr(graph, "edit_origin", None)
+        if origin is not None:
+            prev, rewired = origin
+            entry = self._deltas.get(id(prev))
+            if entry is not None and entry[0] is prev:
+                prev_delta = entry[1]
+                if prev_delta.num_nets <= 4 * prev_delta.live_nets:
+                    touched = [
+                        v for v in sorted(rewired)
+                        if graph.parents(v) != prev.parents(v)
+                    ]
+                    delta = prev_delta.apply_edit(graph, touched)
+                    self.chained += 1
+                    self._remember(graph, delta)
+                    return delta
         delta = self.base.apply_edit(graph)
-        netlist = delta.materialize()
-        simulator = BitParallelSimulator(netlist)
+        self._remember(graph, delta)
+        return delta
+
+    def _remember(self, graph: CircuitGraph, delta: DeltaNetlist) -> None:
+        if len(self._deltas) > 4096:
+            base_graph = self.base.graph
+            self._deltas = {id(base_graph): (base_graph, self.base)}
+        self._deltas[id(graph)] = (graph, delta)
+
+    def _evaluate(self, index: int, graph: CircuitGraph) -> CandidateResult:
+        delta = self._delta_for(graph)
+        simulator = self.simulator.patch(delta)
         inputs = {
             net: self.stimulus_word(name)
-            for name, net in netlist.primary_inputs
+            for name, net in simulator.primary_inputs
         }
         words = simulator.run_packed(inputs, self.num_cycles)
         timing = None

@@ -3,17 +3,23 @@
 :class:`IncrementalReward` replaces the per-candidate full
 ``synthesize()`` call of the exact PCS reward with:
 
-1. a delta re-elaboration of the candidate against the cone search's
-   base state (:class:`~repro.incr.delta.DeltaNetlist`), giving exact
-   raw per-node gate areas while touching only the dirty cone, and
+1. exact raw per-node gate areas served from a ``(node, operand
+   widths)`` memo -- a node's lowered gate structure depends only on
+   its own schema and its ordered operand widths, so a candidate's
+   rewired nodes cost a dictionary lookup (first occurrence: one
+   single-node scratch lowering), with *no* per-candidate elaboration
+   at all, and
 2. a word-level redundancy analysis
    (:func:`~repro.incr.analysis.analyze_redundancy`) predicting which
    nodes the gate-level optimizer would remove,
 
 then scores ``surviving raw area / RTL nodes``, calibrated at
 :meth:`rebase` so the base state's score equals its exact post-synthesis
-PCS.  The estimate ranks candidate rewrites; acceptance is still gated
-by the exact ``synthesize()`` oracle in
+PCS.  The per-node area values (and their summation order) are bit-for-
+bit those of the historical :class:`~repro.incr.delta.DeltaNetlist`
+artifact path, which :meth:`IncrementalReward.evaluate` still uses for
+its delta/timing diagnostics.  The estimate ranks candidate rewrites;
+acceptance is still gated by the exact ``synthesize()`` oracle in
 :func:`repro.mcts.optimize.optimize_registers` (the full-resynthesis
 reference path, ``MCTSConfig.incremental=False``, stays available).
 """
@@ -22,7 +28,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..ir import CircuitGraph
+from ..ir import CircuitGraph, NodeType
 from ..synth.flow import synthesize
 from ..synth.library import DEFAULT_LIBRARY, CellLibrary
 from ..synth.timing import TimingReport
@@ -41,6 +47,34 @@ class IncrementalEval:
     survivors: int
     patched: int
     timing: TimingReport | None = None
+
+
+class _AreaScratch:
+    """Netlist stand-in recording only gate *kinds*, in emission order.
+
+    ``_Elaborator`` never reads back the gates it emits while lowering a
+    single node, so area queries skip :class:`~repro.synth.netlist.Gate`
+    construction entirely; the kind sequence alone reproduces the
+    artifact's area fold bit for bit.
+    """
+
+    __slots__ = ("kinds", "_net")
+
+    const0 = 0
+    const1 = 1
+
+    def __init__(self):
+        self.kinds: list[str] = []
+        self._net = 2
+
+    def ensure_consts(self) -> None:
+        return None
+
+    def add_gate(self, kind: str, *inputs: int) -> int:
+        self.kinds.append(kind)
+        net = self._net
+        self._net += 1
+        return net
 
 
 class IncrementalReward:
@@ -70,10 +104,20 @@ class IncrementalReward:
         self.patches = 0
         self.rebases = 0
         self.base_pcs: float | None = None
+        self._base_graph: CircuitGraph | None = None
         self._base: DeltaNetlist | None = None
         self._analyzer: RedundancyAnalyzer | None = None
         self._timing: IncrementalTiming | None = None
         self._scale = 1.0
+        #: node id -> raw mapped area of its lowering in the base state.
+        self._base_area: dict[int, float] = {}
+        #: (node id, parent-width vector) -> raw mapped area.  A node's
+        #: lowered gate structure depends only on its own schema and its
+        #: ordered operand widths, so candidate-state areas are served
+        #: from this memo without re-elaborating anything.
+        self._area_memo: dict[tuple, float] = {}
+        self._memo_nodes: list | None = None
+        self._node_widths: list[int] = []
 
     # ------------------------------------------------------------------
     def rebase(self, graph: CircuitGraph, exact_pcs: float | None = None) -> None:
@@ -87,51 +131,114 @@ class IncrementalReward:
         PCS is clock-period independent (area / nodes), so any
         ``SynthesisReward`` value for the same graph is valid.
         """
-        if self._base is not None and self._base.graph is graph:
+        if self._base_graph is graph:
             return
         self.rebases += 1
         if exact_pcs is None:
             exact_pcs = synthesize(
                 graph, clock_period=self.clock_period, strength=self.strength,
-                library=self.library, check=False,
+                library=self.library, check=False, run_timing=False,
             ).pcs
-        self._base = DeltaNetlist.from_graph(graph, check=False)
-        self._analyzer = RedundancyAnalyzer(graph)
+        self._base_graph = graph
+        # The tracked base elaboration is only needed by ``evaluate``'s
+        # delta/timing diagnostics; the scoring path works entirely from
+        # the per-node area memo, so it is built lazily.
+        self._base = None
+        self._analyzer = RedundancyAnalyzer(graph, share_from=self._analyzer)
         self._timing = None
         self.base_pcs = exact_pcs
-        estimate = self._area_of(self._base, self._analyzer.analyze(graph))
+        # The (node, operand widths) -> area memo depends only on the
+        # node schema, which is shared by every state of one search run
+        # (accepted states are views over the same node storage); it
+        # survives rebases and only resets for a genuinely new design.
+        if self._memo_nodes is not graph._nodes:
+            self._area_memo = {}
+            self._memo_nodes = graph._nodes
+        self._node_widths = [n.width for n in graph.nodes()]
+        dff_area = self.library.cell("DFF", self.strength).area
+        comb = self._analyzer._comb
+        base_area: dict[int, float] = {}
+        for node in graph.nodes():
+            if node.id in comb:
+                base_area[node.id] = self._rewired_area(graph, node.id)
+            elif node.type is NodeType.REG:
+                # Identical float fold as summing the artifact's DFF
+                # gate areas one by one.
+                base_area[node.id] = sum(dff_area for _ in range(node.width))
+            else:
+                base_area[node.id] = 0.0
+        self._base_area = base_area
+        estimate = self._area_of(self._analyzer.analyze(graph))
         self._scale = exact_pcs * graph.num_nodes / estimate if estimate else 1.0
 
     # ------------------------------------------------------------------
-    def _area_of(self, delta: DeltaNetlist, report) -> float:
-        artifacts = delta.artifacts
-        library, strength = self.library, self.strength
+    def _area_of(self, report, overrides: dict[int, float] | None = None) -> float:
+        """Raw area of the report's surviving nodes.
+
+        Untouched nodes keep their base-state areas; ``overrides``
+        carries the (memoized) areas of nodes whose parent widths the
+        candidate's rewires changed.  The summation order matches the
+        historical delta-artifact path bit for bit.
+        """
+        base_area = self._base_area
+        if not overrides:
+            return sum(base_area[v] for v in report.survivors())
         return sum(
-            artifacts[v].area(library, strength)
+            overrides[v] if v in overrides else base_area[v]
             for v in report.survivors()
         )
 
-    def _surviving_area(self, delta: DeltaNetlist) -> float:
-        return self._area_of(delta, self._analyzer.analyze(delta.graph))
+    def _rewired_area(self, graph: CircuitGraph, v: int) -> float:
+        """Raw mapped area of node ``v`` under the candidate's wiring.
+
+        Lowered gate structure is a pure function of (node schema,
+        ordered operand widths): operand bits are only ever consumed
+        through zero-extension or truncation to static widths, never
+        through operand identity.  The memo therefore replaces the
+        per-candidate dirty-cone re-elaboration the reward used to pay.
+        """
+        widths = self._node_widths
+        parents = graph.filled_parents(v)
+        key = (v, tuple([widths[p] for p in parents]))
+        area = self._area_memo.get(key)
+        if area is None:
+            from ..synth.elaborate import _Elaborator
+
+            scratch = _AreaScratch()
+            bits = {p: list(range(2, 2 + widths[p])) for p in parents}
+            _Elaborator(graph, netlist=scratch, bits=bits)._lower_comb(v)
+            library, strength = self.library, self.strength
+            # Same float fold as summing the real artifact's gate areas.
+            area = sum(
+                library.cell(kind, strength).area for kind in scratch.kinds
+            )
+            self._area_memo[key] = area
+        return area
 
     def _touched_vs_base(self, graph: CircuitGraph) -> list[int] | None:
         touched = self._trace_touched(graph)
         if touched is None:
-            touched = graph.structural_delta(self._base.graph)
+            touched = graph.structural_delta(self._base_graph)
         return touched
 
-    def _delta_for(self, graph: CircuitGraph) -> DeltaNetlist:
+    def _ensure_base_delta(self) -> DeltaNetlist:
+        """The tracked elaboration of the base, built on first use."""
         if self._base is None:
+            self._base = DeltaNetlist.from_graph(self._base_graph, check=False)
+        return self._base
+
+    def _delta_for(self, graph: CircuitGraph) -> DeltaNetlist:
+        if self._base_graph is None:
             self.rebase(graph)
-        base_graph = self._base.graph
-        if graph is base_graph:
-            return self._base
-        delta = self._base.apply_edit(graph, self._trace_touched(graph))
+        if graph is self._base_graph:
+            return self._ensure_base_delta()
+        base = self._ensure_base_delta()
+        delta = base.apply_edit(graph, self._trace_touched(graph))
         if delta.parent is None:
             # Schema changed: a different design, not an edit -- the
             # calibration must be re-anchored too.
             self.rebase(graph)
-            return self._base
+            return self._ensure_base_delta()
         self.patches += 1
         return delta
 
@@ -145,7 +252,7 @@ class IncrementalReward:
         skipped.  Returns ``None`` when the chain does not reach the
         base, falling back to :meth:`CircuitGraph.structural_delta`.
         """
-        base_graph = self._base.graph
+        base_graph = self._base_graph
         touched: set[int] = set()
         node = graph
         for _ in range(256):
@@ -160,9 +267,9 @@ class IncrementalReward:
 
     def __call__(self, graph: CircuitGraph, cone=None) -> float:
         self.calls += 1
-        if self._base is None:
+        if self._base_graph is None:
             self.rebase(graph)
-        if graph is self._base.graph:
+        if graph is self._base_graph:
             return self.base_pcs
         touched = self._touched_vs_base(graph)
         if touched is None:
@@ -172,10 +279,14 @@ class IncrementalReward:
         if not touched:
             return self.base_pcs
         self.patches += 1
-        delta = self._base.apply_edit(graph, touched)
-        area = self._area_of(
-            delta, self._analyzer.analyze(graph, touched=touched)
-        )
+        report = self._analyzer.analyze(graph, touched=touched)
+        comb = self._analyzer._comb
+        # Only the rewired nodes' own areas can differ from base (their
+        # operand widths changed); REG/OUT lowerings are width-static.
+        overrides = {
+            v: self._rewired_area(graph, v) for v in touched if v in comb
+        }
+        area = self._area_of(report, overrides)
         return self._scale * area / max(graph.num_nodes, 1)
 
     # ------------------------------------------------------------------
@@ -196,7 +307,8 @@ class IncrementalReward:
         )
         if self._timing is None:
             self._timing = IncrementalTiming(
-                self._base, self.clock_period, self.library, self.strength
+                self._ensure_base_delta(), self.clock_period,
+                self.library, self.strength,
             )
         return IncrementalEval(
             pcs=self._scale * surviving / max(graph.num_nodes, 1),

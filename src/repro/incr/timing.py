@@ -71,20 +71,28 @@ class IncrementalTiming:
         self._ats: dict[int, list[float]] = {}
         for v in (*graph.registers(), *graph.outputs()):
             self._ats[v] = self._endpoint_arrivals(base, v, arrival)
+        #: id(delta) -> (delta, overlay contents, endpoint arrivals):
+        #: per-delta arrival state so a chained edit re-propagates only
+        #: its *own* dirty cone on top of its parent's cached state,
+        #: instead of the union of every cone since the base.
+        self._cache: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
     def _propagate(self, gates, arrival, overlay=None) -> None:
         """Arrival times for one node's gates, in emission order."""
         delay = self._delay
         read = arrival if overlay is None else overlay
+        write = arrival if overlay is None else overlay
         for gate in gates:
             if gate.kind == "DFF":
                 continue  # Q arrival is clk-to-q, stable across edits
-            at = max(read[i] for i in gate.inputs) + delay[gate.kind]
-            if overlay is None:
-                arrival[gate.output] = at
-            else:
-                overlay[gate.output] = at
+            ins = gate.inputs
+            at = read[ins[0]]
+            for i in ins[1:]:
+                other = read[i]
+                if other > at:
+                    at = other
+            write[gate.output] = at + delay[gate.kind]
 
     def _endpoint_arrivals(self, delta, v, arrival) -> list[float]:
         node = delta.graph.node(v)
@@ -99,33 +107,61 @@ class IncrementalTiming:
         return self._assemble(self.base, self._ats)
 
     def update(self, delta: DeltaNetlist) -> TimingReport:
-        """Timing of ``delta``, touching only its (chain of) dirty cones."""
+        """Timing of ``delta``, touching only its (chain of) dirty cones.
+
+        Each delta along the lineage is patched exactly once: its
+        arrival overlay (the nets that differ from the base) and
+        endpoint arrivals are cached, so updating a state that extends
+        an already-updated chain re-propagates only the newest edit's
+        dirty cone.  Results are bit-identical to re-propagating the
+        union from the base -- arrivals are the same max/+ folds over
+        the same gates either way.
+        """
         if delta is self.base:
             return self.report()
-        patched: set[int] = set()
+        cached = self._cache.get(id(delta))
+        if cached is not None and cached[0] is delta:
+            return self._assemble(delta, cached[2])
+        chain: list[DeltaNetlist] = []
         node = delta
+        contents: dict[int, float] = {}
+        ats = self._ats
         while node is not self.base:
             if node.parent is None:
                 raise ValueError(
                     "delta was not derived from this timing's base"
                 )
-            patched |= node.patched
+            entry = self._cache.get(id(node))
+            if entry is not None and entry[0] is node:
+                contents, ats = entry[1], entry[2]
+                break
+            chain.append(node)
             node = node.parent
-        graph = delta.graph
-        # Net anchoring keeps *structure* outside the rebuilt set stable,
-        # but arrival times still ripple through the full combinational
-        # fanout of the rebuilt nodes -- recompute along that cone.
-        dirty = delta.dirty_cone(graph, patched)
-        overlay = _Overlay(self._arrival)
-        dirty_comb = {
-            v for v in dirty if graph.node(v).type not in _COMB_EXCLUDED
-        }
-        for v in comb_topo_order(graph, dirty_comb):
-            self._propagate(delta.artifacts[v].gates, None, overlay)
-        ats = dict(self._ats)
-        for v in dirty:
-            if graph.node(v).type in (NodeType.REG, NodeType.OUT):
-                ats[v] = self._endpoint_arrivals(delta, v, overlay)
+        for node in reversed(chain):
+            graph = node.graph
+            overlay = _Overlay(self._arrival)
+            if contents:
+                overlay.update(contents)
+            # Net anchoring keeps *structure* outside the rebuilt set
+            # stable, but arrival times still ripple through the full
+            # combinational fanout of the rebuilt nodes -- recompute
+            # along that cone, on top of the parent's arrival state.
+            dirty = node.dirty_cone(graph, node.patched)
+            dirty_comb = {
+                v for v in dirty if graph.node(v).type not in _COMB_EXCLUDED
+            }
+            for v in comb_topo_order(graph, dirty_comb):
+                self._propagate(node.artifacts[v].gates, None, overlay)
+            ats = dict(ats)
+            for v in dirty:
+                if graph.node(v).type in (NodeType.REG, NodeType.OUT):
+                    ats[v] = self._endpoint_arrivals(node, v, overlay)
+            # The overlay is never written again -- it *is* the cached
+            # contents (a plain-dict view of the changed nets).
+            contents = overlay
+            if len(self._cache) > 4096:
+                self._cache.clear()
+            self._cache[id(node)] = (node, contents, ats)
         return self._assemble(delta, ats)
 
     # ------------------------------------------------------------------

@@ -1,7 +1,7 @@
 """Circuit intermediate representation: typed directed cyclic graphs."""
 
 from .builder import GraphBuilder
-from .graph import CircuitGraph, Node, from_adjacency
+from .graph import CircuitGraph, GraphView, Node, from_adjacency
 from .node_types import (
     ARITY,
     NUM_TYPES,
@@ -26,6 +26,7 @@ __all__ = [
     "NUM_TYPES",
     "CircuitGraph",
     "GraphBuilder",
+    "GraphView",
     "Node",
     "NodeType",
     "ValidationReport",

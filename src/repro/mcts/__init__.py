@@ -1,6 +1,6 @@
 """Phase 3: MCTS-based circuit redundancy optimization."""
 
-from .actions import Swap, apply_swap, is_applicable, sample_swaps
+from .actions import Swap, SwapIndex, apply_swap, is_applicable, sample_swaps
 from .cones import Cone, all_cones, cone_subcircuit, driving_cone
 from .discriminator import (
     PCSDiscriminator,
@@ -51,6 +51,7 @@ __all__ = [
     "optimize_registers",
     "random_search_registers",
     "sample_swaps",
+    "SwapIndex",
     "structural_fingerprint",
     "train_discriminator",
 ]

@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from ..ir import CircuitGraph
-from .actions import apply_swap, sample_swaps
+from ..ir import CircuitGraph, GraphView
+from .actions import SwapIndex, apply_swap
 from .cones import all_cones, driving_cone
 from .reward import CachedReward, ConeBatchEvaluator, SynthesisReward
 from .tree import ConeSearchResult, MCTSOptimizer, RewardFn
@@ -255,6 +255,11 @@ def optimize_registers(
     if incremental is not None:
         report.reward_patches = incremental.patches
         report.reward_rebases = incremental.rebases
+    # Search states are copy-on-write views; hand callers an independent
+    # plain graph so the accepted design's lifetime is decoupled from
+    # the search base and later mutations cannot alias other states.
+    if isinstance(current, GraphView):
+        current = current.materialize()
     report.graph = current
     return report
 
@@ -314,7 +319,7 @@ def random_search_registers(
         if incremental is not None:
             incremental.rebase(current, exact_pcs=current_pcs)
             current_pcs = incremental.base_pcs
-        children_set = [cone.register, *cone.interior]
+        index = SwapIndex([cone.register, *cone.interior])
         live = driving_cone(current, cone.register)
         search_reward = (
             CachedReward(search_base) if config.cache_rewards else search_base
@@ -325,7 +330,7 @@ def random_search_registers(
         steps = 0
         rewards_seen = [initial]
         while steps < config.num_simulations:
-            swaps = sample_swaps(state, children_set, rng, 1)
+            swaps = index.sample(state, rng, 1)
             if not swaps:
                 break
             nxt = apply_swap(state, swaps[0])
@@ -384,5 +389,7 @@ def random_search_registers(
     if incremental is not None:
         report.reward_patches = incremental.patches
         report.reward_rebases = incremental.rebases
+    if isinstance(current, GraphView):
+        current = current.materialize()
     report.graph = current
     return report

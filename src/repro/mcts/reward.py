@@ -17,9 +17,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..ir import CircuitGraph, NUM_TYPES, NodeType, is_sequential
+from ..ir import CircuitGraph, GraphView, NUM_TYPES, NodeType, is_sequential
 from ..synth import synthesize
-from ..synth.simulate import BitParallelSimulator, packed_stimulus_word
+from ..synth.simulate import PatchableSimulator, packed_stimulus_word
 from .cones import Cone, canonical_cone, cone_subcircuit, driving_cone
 
 
@@ -36,11 +36,41 @@ class SynthesisReward:
     def __call__(self, graph: CircuitGraph, cone: Cone | None = None) -> float:
         with self._lock:
             self.calls += 1
-        result = synthesize(graph, clock_period=self.clock_period, check=False)
+        # PCS is area / nodes; the STA pass contributes nothing to it.
+        result = synthesize(
+            graph, clock_period=self.clock_period, check=False,
+            run_timing=False,
+        )
         return result.pcs
 
 
-def structural_fingerprint(graph: CircuitGraph) -> tuple:
+class Fingerprint:
+    """A structural key with its hash computed exactly once.
+
+    Fingerprints are large nested tuples; hashing one on every cache
+    lookup costs more than the lookup itself.  Equality still compares
+    the full keys, so two states collide iff their structures match.
+    """
+
+    __slots__ = ("key", "_hash")
+
+    def __init__(self, key: tuple):
+        self.key = key
+        self._hash = hash(key)
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, Fingerprint):
+            return self._hash == other._hash and self.key == other.key
+        return self.key == other
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Fingerprint({self._hash:#x})"
+
+
+def structural_fingerprint(graph: CircuitGraph) -> Fingerprint:
     """Exact hashable key of a graph's structure.
 
     Two graphs share a fingerprint iff they have identical node types,
@@ -54,17 +84,39 @@ def structural_fingerprint(graph: CircuitGraph) -> tuple:
     are never mutated after creation, so the hot loop computes each
     state's key once); ``CircuitGraph.set_parent`` / ``clear_parents``
     drop the memo, so in-place rewires cannot serve a stale key.
+
+    Copy-on-write views get an O(overlay) key instead of the O(nodes)
+    structure tuple: (base identity, the overlay rows that actually
+    differ from the base).  Within one search every state shares one
+    frozen base, so equal keys still imply identical structures; the
+    only asymmetry is that a view is never conflated with a plain graph
+    -- a sound (no false positive) trade the per-cone reward cache is
+    happy to make.
     """
     cached = graph.__dict__.get("_structural_fp")
     if cached is None:
-        cached = (
-            tuple(
-                (node.type.value, node.width,
-                 tuple(sorted(node.params.items())) if node.params else ())
-                for node in graph.nodes()
-            ),
-            graph.parent_rows(),
-        )
+        if isinstance(graph, GraphView):
+            base = graph._base
+            base_rows = base._parents
+            diff = tuple(sorted(
+                (v, tuple(row)) for v, row in graph._rows.items()
+                if row != base_rows[v]
+            ))
+            # The base object itself anchors the key: graphs hash and
+            # compare by identity, which both pins the base alive for
+            # as long as any cache entry references it and rules out
+            # id-recycling collisions.
+            cached = Fingerprint((base, diff))
+        else:
+            nodes_key = graph.__dict__.get("_structural_fp_nodes")
+            if nodes_key is None:
+                nodes_key = tuple(
+                    (node.type.value, node.width,
+                     tuple(sorted(node.params.items())) if node.params else ())
+                    for node in graph.nodes()
+                )
+                graph._structural_fp_nodes = nodes_key
+            cached = Fingerprint((nodes_key, graph.parent_rows()))
         graph._structural_fp = cached
     return cached
 
@@ -153,6 +205,10 @@ class ConeBatchEvaluator:
     sub-circuit is delta-patched onto it (cones are canonicalized so
     equal membership means an identical node layout); a full tracked
     elaboration only happens when the cone membership itself changed.
+    Simulation reuses a per-register
+    :class:`~repro.synth.simulate.PatchableSimulator`, so a candidate's
+    compiled plan is re-linked from the delta's cached opcode rows
+    instead of recompiled from a materialized netlist.
 
     Signatures answer "which candidates compute distinct functions":
     the functional-diversity diagnostic on search traces, the optional
@@ -168,6 +224,9 @@ class ConeBatchEvaluator:
         self._words: dict[tuple[str, int], int] = {}
         #: register -> last candidate's cone DeltaNetlist (patch base).
         self._cone_deltas: dict[int, object] = {}
+        #: register -> the cone's PatchableSimulator (plan re-linked per
+        #: candidate; never recompiled from scratch).
+        self._cone_sims: dict[int, PatchableSimulator] = {}
         self.full_elaborations = 0
         self.patched_elaborations = 0
 
@@ -183,8 +242,11 @@ class ConeBatchEvaluator:
         return word
 
     # -- evaluation ------------------------------------------------------
-    def _cone_netlist(self, graph: CircuitGraph, register: int):
-        """Netlist of ``register``'s cone, delta-patched when possible."""
+    def _cone_simulator(
+        self, graph: CircuitGraph, register: int
+    ) -> PatchableSimulator:
+        """Compiled simulator of ``register``'s cone, plan-patched onto
+        the previous candidate's delta whenever membership allows."""
         from ..incr import DeltaNetlist
 
         sub = cone_subcircuit(graph, canonical_cone(graph, register))
@@ -205,14 +267,16 @@ class ConeBatchEvaluator:
             else:
                 self.patched_elaborations += 1
         self._cone_deltas[register] = delta
-        return delta.materialize()
+        simulator = self._cone_sims.get(register)
+        if simulator is None:
+            simulator = self._cone_sims[register] = PatchableSimulator()
+        return simulator.patch(delta)
 
     def signature(self, graph: CircuitGraph, register: int) -> ConeSignature:
         """Simulate ``register``'s driving cone in ``graph``."""
-        netlist = self._cone_netlist(graph, register)
-        simulator = BitParallelSimulator(netlist)
+        simulator = self._cone_simulator(graph, register)
         inputs = {}
-        for name, net in netlist.primary_inputs:
+        for name, net in simulator.primary_inputs:
             marker, rest = name.rsplit("_", 1)
             bit = int(rest[rest.index("[") + 1:-1])
             inputs[net] = self._word_for(marker, bit)

@@ -17,7 +17,7 @@ from typing import Callable
 import numpy as np
 
 from ..ir import CircuitGraph
-from .actions import Swap, apply_swap, sample_swaps
+from .actions import Swap, SwapIndex, apply_swap
 from .cones import Cone
 
 RewardFn = Callable[[CircuitGraph, Cone], float]
@@ -73,8 +73,11 @@ class MCTSOptimizer:
 
     # ------------------------------------------------------------------
     def optimize_cone(self, graph: CircuitGraph, cone: Cone) -> ConeSearchResult:
-        children_set = [cone.register, *cone.interior]
-        root = self._make_node(graph, cone, depth=0, children_set=children_set)
+        # One persistent swap index for the whole cone search: successor
+        # states inherit and patch their predecessor's cone-local edge
+        # list instead of re-scanning every edge per sample call.
+        index = SwapIndex([cone.register, *cone.interior])
+        root = self._make_node(graph, cone, depth=0, index=index)
         best_graph, best_reward = root.graph, root.reward
         rewards_seen = [root.reward]
 
@@ -93,7 +96,7 @@ class MCTSOptimizer:
                 child_graph = apply_swap(node.graph, swap)
                 if child_graph is not None:
                     child = self._make_node(
-                        child_graph, cone, node.depth + 1, children_set
+                        child_graph, cone, node.depth + 1, index
                     )
                     child.parent = node
                     node.children[swap] = child
@@ -103,7 +106,7 @@ class MCTSOptimizer:
             max_reward = max(n.reward for n in path)
             rollout_graph = node.graph
             for _ in range(self.max_depth - node.depth):
-                swaps = sample_swaps(rollout_graph, children_set, self.rng, 1)
+                swaps = index.sample(rollout_graph, self.rng, 1)
                 if not swaps:
                     break
                 nxt = apply_swap(rollout_graph, swaps[0])
@@ -140,10 +143,10 @@ class MCTSOptimizer:
         graph: CircuitGraph,
         cone: Cone,
         depth: int,
-        children_set: list[int],
+        index: SwapIndex,
     ) -> _TreeNode:
         reward = self.reward_fn(graph, cone)
-        untried = sample_swaps(graph, children_set, self.rng, self.branching)
+        untried = index.sample(graph, self.rng, self.branching)
         return _TreeNode(graph=graph, reward=reward, depth=depth, untried=untried)
 
     def _select_ucb1(self, node: _TreeNode) -> _TreeNode:

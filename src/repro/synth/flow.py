@@ -82,11 +82,19 @@ def synthesize(
     library: CellLibrary = DEFAULT_LIBRARY,
     run_optimization: bool = True,
     check: bool = True,
+    run_timing: bool = True,
 ) -> SynthResult:
-    """Full flow for one design at one (period, drive-strength) point."""
+    """Full flow for one design at one (period, drive-strength) point.
+
+    ``run_timing=False`` skips the STA pass and reports an empty
+    :class:`TimingReport`; area, cell counts, SCPR and PCS are
+    unaffected.  Callers that only consume the area side (the MCTS
+    acceptance oracle, reward calibration) use it to keep full-accuracy
+    PCS without paying for slacks nobody reads.
+    """
     raw = elaborate(graph, check=check)
     if run_optimization:
-        netlist, stats = optimize(raw)
+        netlist, stats = optimize(raw, check=check)
     else:
         netlist, stats = raw, OptStats(
             rounds=0,
@@ -95,7 +103,11 @@ def synthesize(
             dffs_before=raw.num_dffs,
             dffs_after=raw.num_dffs,
         )
-    timing = analyze_timing(netlist, clock_period, library, strength)
+    timing = (
+        analyze_timing(netlist, clock_period, library, strength)
+        if run_timing
+        else TimingReport(clock_period=clock_period, wns=0.0, tns=0.0, nvp=0)
+    )
     return SynthResult(
         design=graph.name,
         clock_period=clock_period,

@@ -16,7 +16,7 @@ GATE_KINDS = ("NOT", "AND", "OR", "XOR", "MUX", "DFF")
 _ARITY = {"NOT": 1, "AND": 2, "OR": 2, "XOR": 2, "MUX": 3, "DFF": 1}
 
 
-@dataclass
+@dataclass(slots=True)
 class Gate:
     kind: str
     inputs: tuple[int, ...]

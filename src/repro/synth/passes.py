@@ -35,11 +35,14 @@ class _Repl:
         self._parent: dict[int, int] = {}
 
     def find(self, net: int) -> int:
+        parent = self._parent
+        if net not in parent:
+            return net  # fast path: most nets are never aliased
         root = net
-        while root in self._parent:
-            root = self._parent[root]
-        while net in self._parent:
-            self._parent[net], net = root, self._parent[net]
+        while root in parent:
+            root = parent[root]
+        while net in parent:
+            parent[net], net = root, parent[net]
         return root
 
     def alias(self, net: int, target: int) -> None:
@@ -48,8 +51,15 @@ class _Repl:
             self._parent[root_net] = root_target
 
 
-def optimize(netlist: Netlist, max_rounds: int = 25) -> tuple[Netlist, OptStats]:
-    """Run all passes to fixpoint and return the optimized netlist."""
+def optimize(
+    netlist: Netlist, max_rounds: int = 25, check: bool = True
+) -> tuple[Netlist, OptStats]:
+    """Run all passes to fixpoint and return the optimized netlist.
+
+    ``check=False`` skips the defensive structural validation of the
+    result (callers in verified inner loops, e.g. the MCTS acceptance
+    oracle, opt out; the passes themselves are unchanged).
+    """
     repl = _Repl()
     gates = list(netlist.gates)
     c0, c1 = netlist.const0, netlist.const1
@@ -86,7 +96,8 @@ def optimize(netlist: Netlist, max_rounds: int = 25) -> tuple[Netlist, OptStats]
     }
     stats.gates_after = len(gates)
     stats.dffs_after = len(surviving)
-    out.check()
+    if check:
+        out.check()
     return out, stats
 
 
@@ -101,8 +112,9 @@ def _simplify(
     """Constant propagation + identity rules; one sweep."""
     changed = False
     kept: list[Gate] = []
+    find = repl.find
     for gate in gates:
-        ins = tuple(repl.find(i) for i in gate.inputs)
+        ins = tuple([find(i) for i in gate.inputs])
         out = gate.output
         kind = gate.kind
         target: int | None = None
@@ -192,8 +204,9 @@ def _dedupe(gates: list[Gate], repl: _Repl) -> tuple[list[Gate], bool]:
     seen: dict[tuple, int] = {}
     not_driver: dict[int, int] = {}
     kept: list[Gate] = []
+    find = repl.find
     for gate in gates:
-        ins = tuple(repl.find(i) for i in gate.inputs)
+        ins = tuple([find(i) for i in gate.inputs])
         kind = gate.kind
         if kind == "NOT" and ins[0] in not_driver:
             repl.alias(gate.output, not_driver[ins[0]])

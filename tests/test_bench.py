@@ -134,6 +134,34 @@ class TestSuite:
         assert packed.ops == by_name["simulate.scalar"].ops > 0
         assert report.suite == "smoke" and report.config_fingerprint
 
+    def test_batch_queue_reports_ms_per_candidate(self):
+        report = run_suite(
+            preset="smoke", repeats=1, warmup=0,
+            filter_pattern="incr.batch_queue",
+        )
+        (record,) = report.records
+        per_candidate = record.meta["ms_per_candidate"]
+        assert per_candidate == pytest.approx(
+            record.wall_best * 1000.0 / record.ops, rel=1e-3
+        )
+        # The ROADMAP target the CI job tracks: compile/patch cost per
+        # candidate stays well under the pre-patchable ~1.2ms floor.
+        assert per_candidate < 1.0
+
+    def test_profile_rendering_shows_drift(self):
+        from repro.bench import render_profile
+
+        report = run_suite(
+            preset="smoke", repeats=1, warmup=0,
+            filter_pattern="metrics",
+        )
+        text = render_profile(report, report)
+        assert "metrics.structural" in text
+        assert "+0%" in text or "-0%" in text
+        assert "baseline rev" in text
+        # Without a baseline the table still renders (dashes).
+        assert "metrics.structural" in render_profile(report, None)
+
     def test_session_bench_writes_report(self, tmp_path):
         from repro.api import BenchRequest, Session
 
@@ -179,6 +207,20 @@ class TestCli:
             record.wall_best = record.wall_best * 100.0
         slow.write(baseline)
         assert main([*run, "-o", str(out), "--compare", str(baseline)]) == 0
+
+    def test_cli_bench_profile_flag(self, tmp_path, monkeypatch, capsys):
+        # --profile prints the per-op drift table against the committed
+        # BENCH_<suite>.json in the working directory.
+        from repro.cli import main
+
+        monkeypatch.chdir(tmp_path)
+        run = ["bench", "--filter", "metrics", "--repeats", "1"]
+        assert main([*run, "-o", "BENCH_smoke.json"]) == 0
+        capsys.readouterr()
+        assert main([*run, "--profile", "-o", str(tmp_path / "x.json")]) == 0
+        out = capsys.readouterr().out
+        assert "per-op" in out and "baseline" in out
+        assert "metrics.structural" in out
 
     def test_cli_compare_with_default_output_does_not_self_compare(
         self, tmp_path, monkeypatch, capsys

@@ -292,6 +292,26 @@ class TestCandidateQueue:
         assert queue.stimulus_word("a_0[0]") == word
         assert 0 <= word < (1 << 32)
 
+    def test_chained_candidates_patch_from_their_predecessor(self):
+        """Swap-chain candidates carry edit provenance; the queue must
+        use it (one-edit deltas off the predecessor) and still produce
+        area/timing/function identical to the one-shot flow."""
+        graph = load_design("alu")
+        rng = np.random.default_rng(5)
+        chain = _swap_chain(graph, rng, 8)
+        queue = CandidateQueue(graph, num_cycles=64, seed=0, clock_period=CLOCK)
+        results = queue.evaluate(chain)
+        assert queue.chained == len(chain)
+        for result in results:
+            # Chained deltas re-lower one swap's dirty cone each, not
+            # the accumulated union back to the base.
+            assert result.delta.parent is not None
+            fresh = elaborate(result.graph, check=False)
+            assert result.area == pytest.approx(total_area(fresh))
+            reference = analyze_timing(fresh, CLOCK)
+            assert result.timing.wns == reference.wns
+            assert result.output_words == _packed_by_name(fresh)
+
     def test_foreign_schema_candidate_does_not_abort_batch(self):
         graph = load_design("uart_tx")
         other = graph.copy()

@@ -139,3 +139,146 @@ class TestFromAdjacency:
                 [NodeType.IN, NodeType.IN, NodeType.NOT],
                 [1, 1, 1],
             )
+
+
+class TestGraphView:
+    """Copy-on-write overlay equivalence: a chain of views must be
+    observationally identical to the same rewires applied to deep
+    copies (the structural fuzz backing the MCTS search's switch from
+    ``CircuitGraph.copy()`` to views)."""
+
+    @staticmethod
+    def _assert_same(view, reference):
+        from repro.ir import GraphView
+
+        assert isinstance(view, GraphView)
+        assert view.num_nodes == reference.num_nodes
+        assert view.num_edges == reference.num_edges
+        for v in range(reference.num_nodes):
+            assert view.parents(v) == reference.parents(v)
+            assert view.filled_parents(v) == reference.filled_parents(v)
+            assert view.children(v) == reference.children(v)
+        assert view.parent_rows() == reference.parent_rows()
+        assert view.edge_list() == reference.edge_list()
+        assert view.filled_rows() == reference.filled_rows()
+        assert [sorted(f) for f in view.child_map()] == \
+            [sorted(f) for f in reference.child_map()]
+        assert np.array_equal(view.adjacency(), reference.adjacency())
+        assert view.to_dict() == reference.to_dict()
+        assert view.structural_delta(reference) == []
+
+    def _random_rewire(self, state, reference, rng):
+        """One random slot rewrite applied to both representations."""
+        from repro.ir import GraphView
+
+        candidates = [
+            (child, slot)
+            for child in range(reference.num_nodes)
+            for slot, parent in enumerate(reference.parents(child))
+            if parent is not None
+        ]
+        child, slot = candidates[rng.integers(0, len(candidates))]
+        parent = int(rng.integers(0, reference.num_nodes))
+        view = GraphView(state)
+        view.set_parent(child, slot, parent)
+        ref = reference.copy()
+        ref.set_parent(child, slot, parent)
+        return view, ref
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_view_chain_matches_copies(self, seed):
+        from repro.bench_designs import load_design
+
+        rng = np.random.default_rng(seed)
+        base = load_design("uart_tx")
+        state, reference = base, base.copy()
+        for _ in range(12):
+            # Touch memos mid-chain so incrementally patched caches are
+            # exercised, not just the lazy rebuild path.
+            if rng.random() < 0.5:
+                state.edge_list()
+                state.child_map()
+            state, reference = self._random_rewire(state, reference, rng)
+            self._assert_same(state, reference)
+        # The base graph itself must be untouched by the whole chain.
+        assert base.structural_delta(load_design("uart_tx")) == []
+
+    def test_materialize_is_independent(self):
+        from repro.ir import GraphView
+
+        base = small_counter()
+        view = GraphView(base)
+        out = base.outputs()[0]
+        view.set_parent(out, 0, base.inputs()[0])
+        plain = view.materialize()
+        assert plain.parents(out) == view.parents(out)
+        plain.set_parent(out, 0, base.registers()[0])
+        assert view.parents(out) == [base.inputs()[0]]
+
+    def test_commit_writes_base_in_place(self):
+        from repro.ir import GraphView
+
+        base = small_counter()
+        out = base.outputs()[0]
+        original = base.parents(out)[0]
+        view = GraphView(base)
+        view.set_parent(out, 0, base.inputs()[0])
+        assert base.parents(out) == [original]  # not yet
+        committed = view.commit()
+        assert committed is base
+        assert base.parents(out) == [base.inputs()[0]]
+
+    def test_views_never_alias_their_predecessor(self):
+        from repro.ir import GraphView
+
+        base = small_counter()
+        out = base.outputs()[0]
+        v1 = GraphView(base)
+        v1.set_parent(out, 0, base.inputs()[0])
+        v2 = GraphView(v1)
+        v2.set_parent(out, 0, base.registers()[0])
+        assert v1.parents(out) == [base.inputs()[0]]
+        assert v2.parents(out) == [base.registers()[0]]
+
+    def test_edge_list_correct_after_pattern_divergence(self):
+        # clear_parents / filling an empty slot change the filled-slot
+        # pattern, after which the base's edge positions must never be
+        # used to patch the view's edge list in place.
+        from repro.ir import GraphView
+
+        base = small_counter()
+        out = base.outputs()[0]
+        reg = base.registers()[0]
+        view = GraphView(base)
+        view.edge_list()                      # warm the cache
+        view.clear_parents(out)               # pattern diverges
+        view.edge_list()                      # rebuilt under new pattern
+        view.set_parent(reg, 0, base.inputs()[0])  # rewire a filled slot
+        assert sorted(view.edge_list()) == \
+            sorted(view.materialize().edge_list())
+        view.set_parent(out, 0, reg)          # refill the cleared slot
+        assert sorted(view.edge_list()) == \
+            sorted(view.materialize().edge_list())
+
+    def test_add_node_requires_materialize(self):
+        from repro.ir import GraphView
+
+        view = GraphView(small_counter())
+        with pytest.raises(TypeError):
+            view.add_node(NodeType.IN, 1)
+        assert view.materialize().add_node(NodeType.IN, 1) >= 0
+
+    def test_structural_delta_across_views(self):
+        from repro.ir import GraphView
+
+        base = small_counter()
+        out = base.outputs()[0]
+        sibling = GraphView(base)
+        view = GraphView(base)
+        view.set_parent(out, 0, base.inputs()[0])
+        touched = view.structural_delta(base)
+        assert touched == [out]
+        assert view.structural_delta(sibling) == [out]
+        assert sibling.structural_delta(base) == []
+        # Generic path: compare against an independent deep copy.
+        assert view.structural_delta(base.copy()) == [out]
