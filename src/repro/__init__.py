@@ -14,7 +14,7 @@ from .ir import CircuitGraph, GraphBuilder, NodeType  # noqa: F401
 
 _API_NAMES = {
     "ArtifactStore", "BenchRequest", "EvalRequest", "EvalResult", "GenerateRequest",
-    "GenerateResult", "GenerationRecord", "Session", "SynCircuit",
+    "GenerateResult", "GenerationRecord", "LintRequest", "Session", "SynCircuit",
     "SynCircuitConfig", "SynthRequest", "SynthSummary", "list_presets",
     "resolve_preset",
 }

@@ -22,6 +22,7 @@ from .requests import (
     EvalResult,
     GenerateRequest,
     GenerateResult,
+    LintRequest,
     SynthRequest,
     SynthSummary,
 )
@@ -36,6 +37,7 @@ __all__ = [
     "GenerateRequest",
     "GenerateResult",
     "GenerationRecord",
+    "LintRequest",
     "Session",
     "SynCircuit",
     "SynCircuitConfig",

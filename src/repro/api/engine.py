@@ -61,6 +61,11 @@ class SynCircuitConfig:
     use_diffusion: bool = True       # False: the "w/o diff" ablation
     reward: str = "discriminator"    # "discriminator" | "synthesis"
     discriminator_perturbations: int = 12
+    #: Lint every generated circuit with the graph-scope rules and fail
+    #: the generation on error-severity findings (a pipeline-integrity
+    #: gate: the refinement phase guarantees a valid graph, so an error
+    #: here means a phase broke its contract).
+    lint_generated: bool = False
     seed: int = 0
 
     # -- JSON round-trip ----------------------------------------------------
@@ -273,6 +278,15 @@ class SynCircuit:
             g_opt = report.graph
             g_opt.name = f"{name}_opt"
             timings["optimize"] = time.perf_counter() - started
+        if self.config.lint_generated:
+            from ..lint import lint_graph
+
+            lint_report = lint_graph(g_opt if g_opt is not None else g_val)
+            if lint_report.errors:
+                raise RuntimeError(
+                    f"generated circuit {name!r} failed the lint gate: "
+                    + "; ".join(str(d) for d in lint_report.errors)
+                )
         return GenerationRecord(
             g_val=g_val,
             g_opt=g_opt,

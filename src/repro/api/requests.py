@@ -52,6 +52,10 @@ class GenerateRequest:
     the session config's ``MCTSConfig.incremental`` for this request
     only (``None`` keeps the config's choice): ``False`` forces the
     full-resynthesis oracle reward in the Phase 3 search.
+    ``sanitize`` audits this request's Phase 3 searches with the
+    :mod:`repro.lint.sanitize` invariant checker (pure auditing: output
+    is bit-identical, divergence raises
+    :class:`~repro.lint.InvariantViolation`).
     """
 
     count: int = 1
@@ -62,6 +66,7 @@ class GenerateRequest:
     workers: int = 1
     synth_period: float | None = None
     incremental: bool | None = None
+    sanitize: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -73,6 +78,7 @@ class GenerateRequest:
             "workers": self.workers,
             "synth_period": self.synth_period,
             "incremental": self.incremental,
+            "sanitize": self.sanitize,
         }
 
     @classmethod
@@ -202,6 +208,38 @@ class SynthRequest:
         return cls(
             design=_graph_from_json(data["design"]),
             clock_period=float(data.get("clock_period", 1.0)),
+        )
+
+
+# ---------------------------------------------------------------------------
+@dataclass
+class LintRequest:
+    """Lint one design (a corpus name or an explicit graph).
+
+    ``netlist`` additionally elaborates the design and runs the
+    netlist-scope (``N0xx``) rules; ``rules`` restricts the run to the
+    named rule ids (``None`` = every registered rule of the scope).
+    The result is a :class:`repro.lint.LintReport`.
+    """
+
+    design: str | CircuitGraph
+    netlist: bool = True
+    rules: list[str] | None = None
+
+    def to_dict(self) -> dict:
+        return {
+            "design": _graph_to_json(self.design),
+            "netlist": self.netlist,
+            "rules": None if self.rules is None else list(self.rules),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "LintRequest":
+        rules = data.get("rules")
+        return cls(
+            design=_graph_from_json(data["design"]),
+            netlist=bool(data.get("netlist", True)),
+            rules=None if rules is None else [str(r) for r in rules],
         )
 
 

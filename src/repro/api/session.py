@@ -40,6 +40,7 @@ from .requests import (
     EvalResult,
     GenerateRequest,
     GenerateResult,
+    LintRequest,
     SynthRequest,
     SynthSummary,
 )
@@ -186,14 +187,17 @@ class Session:
         presampled: tuple | None = None,
     ) -> GenerationRecord:
         mcts_config = None
+        overrides = {}
         if (request.incremental is not None
                 and request.incremental != self.config.mcts.incremental):
+            overrides["incremental"] = request.incremental
+        if request.sanitize and not self.config.mcts.sanitize:
+            overrides["sanitize"] = True
+        if overrides:
             # Request-scoped copy: workers share the session config.
             import dataclasses
 
-            mcts_config = dataclasses.replace(
-                self.config.mcts, incremental=request.incremental
-            )
+            mcts_config = dataclasses.replace(self.config.mcts, **overrides)
         return self.engine.generate_one(
             num_nodes, rng,
             optimize=request.optimize,
@@ -333,6 +337,30 @@ class Session:
         if self.use_cache:
             self.store.save_json(key, summary.to_dict())
         return summary
+
+    # -- linting ---------------------------------------------------------
+    def lint(self, request: LintRequest | str | CircuitGraph, **kwargs):
+        """Run the diagnostic rules on a design.
+
+        Returns a :class:`repro.lint.LintReport` with the graph-scope
+        (``L0xx``) findings, plus the netlist-scope (``N0xx``) findings
+        of an elaboration when ``request.netlist`` is on (the default).
+        """
+        if not isinstance(request, LintRequest):
+            request = LintRequest(request, **kwargs)
+        from ..lint import lint_graph, lint_netlist
+
+        graph = self._resolve_design(request.design)
+        # One selection may span both scopes; each scope's runner keeps
+        # only its own ids.
+        report = lint_graph(graph, rules=request.rules)
+        if request.netlist and not report.errors:
+            from ..synth.elaborate import elaborate
+
+            report.extend(lint_netlist(
+                elaborate(graph, check=False), rules=request.rules,
+            ))
+        return report
 
     # -- benchmarking ----------------------------------------------------
     def bench(self, request: BenchRequest | None = None, **kwargs):

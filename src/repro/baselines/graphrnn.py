@@ -14,7 +14,7 @@ contain no register feedback loops, unlike real designs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

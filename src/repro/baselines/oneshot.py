@@ -115,7 +115,6 @@ class _EdgeModel:
         self, types: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:
         """Symmetric edge probabilities for a sampled degree sequence."""
-        n = len(types)
         degrees = np.array([
             self.degree_samples[int(t)][
                 rng.integers(0, len(self.degree_samples[int(t)]))

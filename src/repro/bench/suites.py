@@ -14,6 +14,9 @@ deliberately spans the whole stack:
 * ``mcts.optimize``    -- the Phase 3 search loop (preset reward path)
 * ``mcts.optimize_incremental`` -- the same loop with the incremental
   reward engine explicitly enabled (pinned even if presets change)
+* ``lint.graph``       -- the graph-scope diagnostic rules over the corpus
+* ``sanitize.overhead`` -- the incremental search with the runtime
+  invariant auditor on (vs ``mcts.optimize_incremental`` = its cost)
 * ``diffusion.sample`` -- Phase 1 reverse denoising
 * ``diffusion.sample_batch`` -- several samples through shared denoiser
   forwards (the ``generate_batch`` phase-1 path)
@@ -200,6 +203,38 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
         report = optimize_registers(graph, config=mcts_config)
         return max(report.total_simulations, 1)
 
+    # -- lint / sanitizer ------------------------------------------------
+    def lint_setup():
+        from ..lint import rules_for
+
+        graphs = load_corpus()
+        # Priming rules_for in setup keeps one-time rule-module imports
+        # (incl. the lazy redundancy analysis of L008) out of the timing.
+        rules_for("graph")
+        return graphs
+
+    def lint_run(graphs):
+        from ..lint import lint_graph
+
+        for graph in graphs:
+            lint_graph(graph)
+        return len(graphs)
+
+    def sanitize_setup():
+        import dataclasses
+
+        return (
+            load_design("uart_tx"),
+            dataclasses.replace(
+                config.mcts, incremental=True, sanitize=True
+            ),
+        )
+
+    def sanitize_run(state):
+        graph, mcts_config = state
+        report = optimize_registers(graph, config=mcts_config)
+        return max(report.sanitize_checks, 1)
+
     # -- diffusion sampling ---------------------------------------------
     def diffusion_setup():
         return trained_diffusion()
@@ -273,19 +308,25 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
                   meta={"design": "uart_tx",
                         "num_simulations": config.mcts.num_simulations,
                         "incremental": True}),
+        Benchmark("lint.graph", lint_setup, lint_run,
+                  meta={"note": "graph-scope rules over the whole corpus"}),
+        Benchmark("sanitize.overhead", sanitize_setup, sanitize_run,
+                  meta={"design": "uart_tx",
+                        "num_simulations": config.mcts.num_simulations,
+                        "incremental": True, "sanitize": True}),
         Benchmark("metrics.structural", metrics_setup, metrics_run),
         Benchmark("e2e.generate", e2e_setup, e2e_run, repeats=2,
                   meta={"nodes": 44, "optimize": True}),
     ]
     if config.use_diffusion:
         benchmarks.insert(
-            8,
+            10,
             Benchmark("diffusion.sample", diffusion_setup, diffusion_run,
                       meta={"nodes": 48,
                             "epochs": config.diffusion.epochs}),
         )
         benchmarks.insert(
-            9,
+            11,
             Benchmark("diffusion.sample_batch", diffusion_setup,
                       diffusion_batch_run,
                       meta={"nodes": 48, "batch": 4,
@@ -347,6 +388,14 @@ def run_suite(
             record.meta["ms_per_candidate"] = round(
                 record.wall_best * 1000.0 / record.ops, 4
             )
+    sanitized = by_name.get("sanitize.overhead")
+    plain = by_name.get("mcts.optimize_incremental")
+    if sanitized and plain and plain.wall_best > 0:
+        # The auditing cost factor: sanitized vs unsanitized search on
+        # the identical workload (same design, budget, reward path).
+        sanitized.meta["overhead_vs_unsanitized"] = round(
+            sanitized.wall_best / plain.wall_best, 2
+        )
     batch = by_name.get("diffusion.sample_batch")
     if batch and batch.ops:
         batch.meta["ms_per_graph"] = round(

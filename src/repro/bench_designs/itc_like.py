@@ -8,7 +8,7 @@ register, next-state priority logic, counters and serial data paths.
 from __future__ import annotations
 
 from ..ir import CircuitGraph, GraphBuilder
-from .common import binary_counter, equals_const, onehot_state_next
+from .common import equals_const, onehot_state_next
 
 
 def sequence_detector(pattern_width: int = 4) -> CircuitGraph:

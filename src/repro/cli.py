@@ -6,6 +6,7 @@ are equivalent)::
     repro corpus                          # list the 22 designs
     repro presets                         # list scenario presets
     repro synth uart_tx --period 1.0      # PPA report (store-cached)
+    repro lint --all --json               # diagnostic rules over the corpus
     repro emit uart_tx -o uart_tx.v       # design -> Verilog
     repro generate -n 5 --nodes 60 -o out_dir --workers 4
                                           # fit (cached) + batch generate
@@ -98,6 +99,48 @@ def _cmd_synth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from .api import LintRequest
+    from .lint import ERROR, WARNING
+
+    if args.all:
+        from .bench_designs import SPECS
+
+        designs = [s.name for s in SPECS]
+    elif args.designs:
+        designs = args.designs
+    else:
+        raise SystemExit("error: name designs to lint, or pass --all")
+    session = _session(args)
+    reports = [
+        session.lint(LintRequest(
+            _load_graph(design) if not args.all else design,
+            netlist=not args.no_netlist,
+            rules=args.rules.split(",") if args.rules else None,
+        ))
+        for design in designs
+    ]
+    failed = 0
+    if args.json:
+        print(json.dumps([r.to_dict() for r in reports], indent=2))
+    for report in reports:
+        bad = bool(report.errors) or (args.strict and report.warnings)
+        failed += bool(bad)
+        if not args.json:
+            print(report.summary())
+            shown = (
+                report.diagnostics if args.verbose
+                else [d for d in report.diagnostics
+                      if d.severity in (ERROR, WARNING)]
+            )
+            for diagnostic in shown:
+                print(f"  {diagnostic}")
+    if not args.json:
+        print(f"{len(reports)} design(s) linted, {failed} failing"
+              + (" (strict)" if args.strict else ""))
+    return 1 if failed else 0
+
+
 def _cmd_emit(args: argparse.Namespace) -> int:
     from .hdl import generate_verilog
 
@@ -131,6 +174,8 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         mcts["incremental"] = False
     if args.require_equivalence:
         mcts["require_functional_equivalence"] = True
+    if args.sanitize:
+        mcts["sanitize"] = True
     try:
         config = resolve_preset(
             args.preset, seed=args.seed, diffusion=diffusion, mcts=mcts
@@ -268,6 +313,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_synth.add_argument("--period", type=float, default=1.0)
     p_synth.set_defaults(func=_cmd_synth)
 
+    p_lint = sub.add_parser(
+        "lint", help="run the diagnostic rules (L0xx/N0xx) on designs"
+    )
+    p_lint.add_argument(
+        "designs", nargs="*",
+        help="corpus names, .v files or .json files",
+    )
+    p_lint.add_argument("--all", action="store_true",
+                        help="lint the whole benchmark corpus")
+    p_lint.add_argument(
+        "--no-netlist", action="store_true",
+        help="skip elaboration and the netlist-scope (N0xx) rules",
+    )
+    p_lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    p_lint.add_argument(
+        "--strict", action="store_true",
+        help="fail (exit 1) on warnings, not only errors",
+    )
+    p_lint.add_argument("--verbose", action="store_true",
+                        help="print info-severity findings too")
+    p_lint.add_argument("--json", action="store_true",
+                        help="emit the reports as JSON")
+    p_lint.set_defaults(func=_cmd_lint)
+
     p_emit = sub.add_parser("emit", help="emit a design as Verilog")
     p_emit.add_argument("design")
     p_emit.add_argument("-o", "--output", default=None)
@@ -309,6 +381,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--require-equivalence", action="store_true",
         help="reject cone rewrites whose simulated function changes "
              "(promotes the cone-function diagnostic to a hard gate)",
+    )
+    p_gen.add_argument(
+        "--sanitize", action="store_true",
+        help="audit the search's incremental structures against "
+             "from-scratch recomputation (bit-identical output; raises "
+             "on any invariant violation)",
     )
     p_gen.add_argument("-o", "--output", default="generated")
     p_gen.set_defaults(func=_cmd_generate)

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..ir import CircuitGraph, NUM_TYPES
+from ..ir import CircuitGraph
 
 #: Number of log2 width buckets (1, 2, 3-4, 5-8, ..., >128).
 NUM_WIDTH_BUCKETS = 8

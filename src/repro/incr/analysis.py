@@ -23,6 +23,7 @@ schema, different wiring -- costs one short fixpoint over the node list.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..ir import CircuitGraph, NodeType
@@ -174,7 +175,7 @@ class RedundancyAnalyzer:
         self,
         graph: CircuitGraph,
         max_rounds: int = 8,
-        touched=None,
+        touched: Iterable[int] | None = None,
     ) -> RedundancyReport:
         """Fixpoint constant/alias/duplicate/dead analysis of ``graph``.
 
@@ -201,7 +202,9 @@ class RedundancyAnalyzer:
         )
         return self._report(parents, refs, rewired, rounds)
 
-    def _order_valid(self, parents, touched) -> bool:
+    def _order_valid(
+        self, parents: list[list[int]], touched: Iterable[int]
+    ) -> bool:
         """True when the touched nodes' parent edges respect the
         analyzer's combinational evaluation order."""
         pos, comb = self._pos, self._comb
@@ -214,7 +217,13 @@ class RedundancyAnalyzer:
                     return False
         return True
 
-    def _report(self, parents, refs, rewired, rounds) -> RedundancyReport:
+    def _report(
+        self,
+        parents: list[list[int]],
+        refs: list[Ref],
+        rewired: set[int],
+        rounds: int,
+    ) -> RedundancyReport:
         kept = {
             v for v in self._keepable
             if refs[v][0] == "n" and refs[v][1] == v
@@ -225,7 +234,12 @@ class RedundancyAnalyzer:
         )
 
     def _fixpoint(
-        self, parents, refs, rewired, order, max_rounds,
+        self,
+        parents: list[list[int]],
+        refs: list[Ref],
+        rewired: set[int],
+        order: list[tuple],
+        max_rounds: int,
         single_round_ok: bool = False,
     ) -> int:
         """Run rule rounds over ``order`` until stable; mutates
@@ -379,7 +393,14 @@ class RedundancyAnalyzer:
         return rounds
 
     # ------------------------------------------------------------------
-    def _fold(self, v, t, w, consts, pwidths) -> int:
+    def _fold(
+        self,
+        v: int,
+        t: NodeType,
+        w: int,
+        consts: list[int],
+        pwidths: list[int] | None,
+    ) -> int:
         """Evaluate one operator over constant words (elaborate semantics)."""
         mask = (1 << w) - 1
 
@@ -418,7 +439,9 @@ class RedundancyAnalyzer:
         raise ValueError(f"cannot fold node type {t}")  # pragma: no cover
 
     # ------------------------------------------------------------------
-    def _backward_live(self, parents, refs) -> set[int]:
+    def _backward_live(
+        self, parents: list[list[int]], refs: list[Ref]
+    ) -> set[int]:
         """Nodes reachable backwards from the primary outputs.
 
         Traversal follows *resolved* references: an aliased or merged

@@ -22,6 +22,7 @@ siblings can branch from one shared base.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from ..ir import CircuitGraph, NodeType
@@ -154,7 +155,9 @@ class DeltaNetlist:
         nl = ela.netlist
         artifacts: dict[int, NodeArtifact] = {}
 
-        def capture(node_id: int, lower, *args) -> None:
+        def capture(
+            node_id: int, lower: Callable[..., None], *args: object
+        ) -> None:
             gate_mark = len(nl.gates)
             pi_mark = len(nl.primary_inputs)
             po_mark = len(nl.primary_outputs)
@@ -200,7 +203,9 @@ class DeltaNetlist:
         return delta
 
     # ------------------------------------------------------------------
-    def dirty_cone(self, new_graph: CircuitGraph, touched) -> set[int]:
+    def dirty_cone(
+        self, new_graph: CircuitGraph, touched: Iterable[int]
+    ) -> set[int]:
         """Transitive combinational fanout of ``touched`` in ``new_graph``.
 
         Propagation stops *at* registers and outputs: a register's Q
@@ -212,7 +217,12 @@ class DeltaNetlist:
             new_graph, touched, new_graph.child_map().__getitem__
         )
 
-    def _propagate_dirty(self, new_graph, touched, children) -> set[int]:
+    def _propagate_dirty(
+        self,
+        new_graph: CircuitGraph,
+        touched: Iterable[int],
+        children: Callable[[int], Iterable[int]],
+    ) -> set[int]:
         dirty: set[int] = set(touched)
         comb_mask, stop_mask = self._comb_mask, self._stop_mask
         frontier = [v for v in touched if comb_mask[v]]
@@ -225,7 +235,9 @@ class DeltaNetlist:
                         frontier.append(child)
         return dirty
 
-    def _patched_children(self, new_graph: CircuitGraph, touched):
+    def _patched_children(
+        self, new_graph: CircuitGraph, touched: Iterable[int]
+    ) -> Callable[[int], Iterable[int]]:
         """Fanout lookup for ``new_graph`` built from the cached base
         fanout map plus the edge corrections implied by ``touched``."""
         if self._children is None:
@@ -243,7 +255,7 @@ class DeltaNetlist:
         if not corrections:
             return base_map.__getitem__
 
-        def children(v: int):
+        def children(v: int) -> Iterable[int]:
             patched = corrections.get(v)
             return base_map[v] if patched is None else patched
 
@@ -296,7 +308,7 @@ class DeltaNetlist:
         bits: dict[int, list[int]] = {}
         ela = _Elaborator(new_graph, netlist=nl, bits=bits)
 
-        def ensure_bits(nodes) -> None:
+        def ensure_bits(nodes: Iterable[int]) -> None:
             for u in nodes:
                 if u not in bits:
                     bits[u] = list(artifacts_map[u].bits)
@@ -398,7 +410,11 @@ class DeltaNetlist:
         )
 
     @staticmethod
-    def _anchor(old_bits, new_bits, new_gates) -> bool:
+    def _anchor(
+        old_bits: Sequence[int],
+        new_bits: Sequence[int],
+        new_gates: Sequence[Gate],
+    ) -> bool:
         """Rename a re-lowered node's gates onto its previous output nets.
 
         Possible iff every output bit is driven by one of the node's own

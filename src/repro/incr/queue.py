@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ir import CircuitGraph
+from ..lint.sanitize import current_sanitizer
 from ..synth.library import DEFAULT_LIBRARY, CellLibrary
 from ..synth.simulate import PatchableSimulator, packed_stimulus_word
 from ..synth.timing import TimingReport
@@ -164,23 +165,44 @@ class CandidateQueue:
 
     def _evaluate(self, index: int, graph: CircuitGraph) -> CandidateResult:
         delta = self._delta_for(graph)
+        sanitizer = current_sanitizer()
+        if sanitizer is not None:
+            # S003: audit the candidate's patch lineage.
+            sanitizer.check_delta(delta)
         simulator = self.simulator.patch(delta)
         inputs = {
             net: self.stimulus_word(name)
             for name, net in simulator.primary_inputs
         }
         words = simulator.run_packed(inputs, self.num_cycles)
+        if sanitizer is not None:
+            # S005: the re-linked plan's words vs a fresh compile.
+            sanitizer.check_simulator(
+                delta,
+                {
+                    name: self.stimulus_word(name)
+                    for name, _ in simulator.primary_inputs
+                },
+                self.num_cycles,
+                words,
+            )
         timing = None
         if self.timing is not None:
             if delta is self.base or delta.parent is not None:
                 timing = self.timing.update(delta)
+                if sanitizer is not None:
+                    # S004: overlay-assembled report vs a fresh STA.
+                    sanitizer.check_timing(self.timing, delta, timing)
             else:
                 # Schema change: not part of the base lineage -- time it
                 # standalone rather than aborting the whole batch.
-                timing = IncrementalTiming(
+                standalone = IncrementalTiming(
                     delta, self.timing.clock_period,
                     self.library, self.strength,
-                ).report()
+                )
+                timing = standalone.report()
+                if sanitizer is not None:
+                    sanitizer.check_timing(standalone, delta, timing)
         return CandidateResult(
             index=index,
             graph=graph,

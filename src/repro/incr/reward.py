@@ -29,10 +29,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..ir import CircuitGraph, NodeType
+from ..lint.sanitize import current_sanitizer
 from ..synth.flow import synthesize
 from ..synth.library import DEFAULT_LIBRARY, CellLibrary
 from ..synth.timing import TimingReport
-from .analysis import RedundancyAnalyzer
+from .analysis import RedundancyAnalyzer, RedundancyReport
 from .delta import DeltaNetlist
 from .timing import IncrementalTiming
 
@@ -63,7 +64,7 @@ class _AreaScratch:
     const0 = 0
     const1 = 1
 
-    def __init__(self):
+    def __init__(self) -> None:
         self.kinds: list[str] = []
         self._net = 2
 
@@ -172,7 +173,11 @@ class IncrementalReward:
         self._scale = exact_pcs * graph.num_nodes / estimate if estimate else 1.0
 
     # ------------------------------------------------------------------
-    def _area_of(self, report, overrides: dict[int, float] | None = None) -> float:
+    def _area_of(
+        self,
+        report: RedundancyReport,
+        overrides: dict[int, float] | None = None,
+    ) -> float:
         """Raw area of the report's surviving nodes.
 
         Untouched nodes keep their base-state areas; ``overrides``
@@ -265,7 +270,9 @@ class IncrementalReward:
                 return sorted(touched)
         return None
 
-    def __call__(self, graph: CircuitGraph, cone=None) -> float:
+    def __call__(
+        self, graph: CircuitGraph, cone: object = None
+    ) -> float:
         self.calls += 1
         if self._base_graph is None:
             self.rebase(graph)
@@ -299,6 +306,10 @@ class IncrementalReward:
         """
         self.calls += 1
         delta = self._delta_for(graph)
+        sanitizer = current_sanitizer()
+        if sanitizer is not None:
+            # S003: audit the diagnostic delta's patch lineage.
+            sanitizer.check_delta(delta)
         report = self._analyzer.analyze(delta.graph)
         survivors = report.survivors()
         surviving = sum(
@@ -310,11 +321,15 @@ class IncrementalReward:
                 self._ensure_base_delta(), self.clock_period,
                 self.library, self.strength,
             )
+        timing = self._timing.update(delta)
+        if sanitizer is not None:
+            # S004: overlay-assembled report vs a fresh STA.
+            sanitizer.check_timing(self._timing, delta, timing)
         return IncrementalEval(
             pcs=self._scale * surviving / max(graph.num_nodes, 1),
             raw_area=delta.total_area(self.library, self.strength),
             surviving_area=surviving,
             survivors=len(survivors),
             patched=len(delta.patched),
-            timing=self._timing.update(delta),
+            timing=timing,
         )

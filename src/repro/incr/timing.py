@@ -16,8 +16,11 @@ with the same cell delays, so even the float values agree exactly.
 
 from __future__ import annotations
 
+from collections.abc import Iterable
+
 from ..ir import NodeType
 from ..synth.library import DEFAULT_LIBRARY, CellLibrary
+from ..synth.netlist import Gate
 from ..synth.timing import TimingReport
 from .delta import DeltaNetlist, comb_topo_order
 
@@ -78,7 +81,12 @@ class IncrementalTiming:
         self._cache: dict[int, tuple] = {}
 
     # ------------------------------------------------------------------
-    def _propagate(self, gates, arrival, overlay=None) -> None:
+    def _propagate(
+        self,
+        gates: Iterable[Gate],
+        arrival: dict[int, float],
+        overlay: dict[int, float] | None = None,
+    ) -> None:
         """Arrival times for one node's gates, in emission order."""
         delay = self._delay
         read = arrival if overlay is None else overlay
@@ -94,7 +102,9 @@ class IncrementalTiming:
                     at = other
             write[gate.output] = at + delay[gate.kind]
 
-    def _endpoint_arrivals(self, delta, v, arrival) -> list[float]:
+    def _endpoint_arrivals(
+        self, delta: DeltaNetlist, v: int, arrival: dict[int, float]
+    ) -> list[float]:
         node = delta.graph.node(v)
         art = delta.artifacts[v]
         if node.type is NodeType.REG:
@@ -165,7 +175,9 @@ class IncrementalTiming:
         return self._assemble(delta, ats)
 
     # ------------------------------------------------------------------
-    def _assemble(self, delta, ats) -> TimingReport:
+    def _assemble(
+        self, delta: DeltaNetlist, ats: dict[int, list[float]]
+    ) -> TimingReport:
         graph = delta.graph
         endpoint_slacks: list[float] = []
         register_slacks: dict[int, float] = {}
@@ -204,10 +216,10 @@ class _Overlay(dict):
         super().__init__()
         self._base = base
 
-    def __missing__(self, key):
+    def __missing__(self, key: int) -> float:
         return self._base[key]
 
-    def get(self, key, default=None):
+    def get(self, key: int, default: float | None = None) -> float | None:
         if key in self:
             return dict.__getitem__(self, key)
         return self._base.get(key, default)

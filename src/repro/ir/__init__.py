@@ -11,14 +11,19 @@ from .node_types import (
     type_from_index,
     type_index,
 )
-from .validate import (
-    ValidationReport,
-    arity_violations,
-    assert_valid,
-    find_combinational_cycles,
-    has_combinational_loop,
-    validate,
-    would_create_combinational_loop,
+
+#: Constraint-checking names re-exported from their canonical home,
+#: :mod:`repro.lint.constraints`.  Served lazily (PEP 562): the lint
+#: package imports ``repro.ir.graph`` at init, so an eager import here
+#: would be a cycle.  ``from repro.ir import validate`` etc. still work.
+_CONSTRAINT_NAMES = (
+    "ValidationReport",
+    "arity_violations",
+    "assert_valid",
+    "find_combinational_cycles",
+    "has_combinational_loop",
+    "validate",
+    "would_create_combinational_loop",
 )
 
 __all__ = [
@@ -42,3 +47,17 @@ __all__ = [
     "validate",
     "would_create_combinational_loop",
 ]
+
+
+def __getattr__(name: str) -> object:
+    if name in _CONSTRAINT_NAMES:
+        from ..lint import constraints
+
+        value = getattr(constraints, name)
+        globals()[name] = value
+        return value
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(__all__))

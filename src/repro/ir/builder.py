@@ -156,7 +156,7 @@ class GraphBuilder:
     # -- finish -----------------------------------------------------------
     def build(self, check: bool = True) -> CircuitGraph:
         if check:
-            from .validate import assert_valid
+            from ..lint.constraints import assert_valid
 
             assert_valid(self.graph)
         return self.graph

@@ -436,7 +436,7 @@ class GraphView(CircuitGraph):
         return sorted(self._rows)
 
     # -- mutation (copy-on-write) ---------------------------------------
-    def add_node(self, *args, **kwargs) -> int:
+    def add_node(self, *args: object, **kwargs: object) -> int:
         raise TypeError(
             "GraphView cannot add nodes; materialize() the view first"
         )

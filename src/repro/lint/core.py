@@ -1,0 +1,290 @@
+"""Rule/pass framework of :mod:`repro.lint`.
+
+A :class:`Rule` is a named, registered check with a stable id, a default
+severity and a scope that says what it runs over:
+
+* ``L0xx`` -- graph scope: word-level :class:`~repro.ir.CircuitGraph`,
+* ``N0xx`` -- netlist scope: gate-level :class:`~repro.synth.netlist.Netlist`,
+* ``S0xx`` -- sanitizer scope: runtime invariants of the incremental
+  machinery (:mod:`repro.lint.sanitize`); these are listed in the
+  catalog but run from instrumented checkpoints, not from
+  :func:`lint_graph` / :func:`lint_netlist`.
+
+:class:`Diagnostic` and :class:`LintReport` are JSON-round-trippable
+dataclasses in the style of the :mod:`repro.api.requests` substrate, so
+reports can cross the CLI / session / CI boundaries as plain dicts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+ERROR = "error"
+WARNING = "warning"
+INFO = "info"
+SEVERITIES = (ERROR, WARNING, INFO)
+
+GRAPH_SCOPE = "graph"
+NETLIST_SCOPE = "netlist"
+SANITIZER_SCOPE = "sanitizer"
+SCOPES = (GRAPH_SCOPE, NETLIST_SCOPE, SANITIZER_SCOPE)
+
+
+@dataclass
+class Diagnostic:
+    """One finding of one rule.
+
+    ``nodes`` holds graph node ids (graph scope) or net/gate indices
+    (netlist scope); ``provenance`` carries arbitrary JSON-able context
+    -- for sanitizer diagnostics, the edit provenance of the state that
+    violated the invariant.
+    """
+
+    rule: str
+    severity: str
+    message: str
+    nodes: list[int] = field(default_factory=list)
+    provenance: dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "nodes": list(self.nodes),
+            "provenance": dict(self.provenance),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "Diagnostic":
+        return cls(
+            rule=data["rule"],
+            severity=data["severity"],
+            message=data["message"],
+            nodes=list(data.get("nodes") or []),
+            provenance=dict(data.get("provenance") or {}),
+        )
+
+    def __str__(self) -> str:
+        where = f" [nodes {self.nodes}]" if self.nodes else ""
+        return f"{self.rule} {self.severity}: {self.message}{where}"
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered check with a stable id.
+
+    ``check`` maps its scope's subject (graph or netlist) to a list of
+    diagnostics; sanitizer rules have ``check=None`` -- they fire from
+    instrumented checkpoints via :class:`repro.lint.sanitize.Sanitizer`.
+    """
+
+    id: str
+    title: str
+    severity: str
+    scope: str
+    description: str = ""
+    check: Callable[..., list[Diagnostic]] | None = None
+
+    def diag(
+        self,
+        message: str,
+        nodes: Iterable[int] = (),
+        **provenance: Any,
+    ) -> Diagnostic:
+        """A diagnostic attributed to this rule at its default severity."""
+        return Diagnostic(
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+            nodes=list(nodes),
+            provenance=provenance,
+        )
+
+
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_obj: Rule) -> Rule:
+    """Add ``rule_obj`` to the registry (id collisions are a bug)."""
+    if rule_obj.severity not in SEVERITIES:
+        raise ValueError(f"unknown severity {rule_obj.severity!r}")
+    if rule_obj.scope not in SCOPES:
+        raise ValueError(f"unknown scope {rule_obj.scope!r}")
+    existing = _RULES.get(rule_obj.id)
+    if existing is not None and existing is not rule_obj:
+        raise ValueError(f"duplicate rule id {rule_obj.id!r}")
+    _RULES[rule_obj.id] = rule_obj
+    return rule_obj
+
+
+def rule(
+    rule_id: str,
+    title: str,
+    severity: str,
+    scope: str,
+    description: str = "",
+) -> Callable[[Callable[..., list[Diagnostic]]], Callable[..., list[Diagnostic]]]:
+    """Decorator form of :func:`register` for checks defined as functions."""
+
+    def wrap(check: Callable[..., list[Diagnostic]]) -> Callable[..., list[Diagnostic]]:
+        register(Rule(
+            id=rule_id,
+            title=title,
+            severity=severity,
+            scope=scope,
+            description=description or (check.__doc__ or "").strip(),
+            check=check,
+        ))
+        return check
+
+    return wrap
+
+
+def _load_rule_modules() -> None:
+    """Import every rule module so the registry is complete.
+
+    Imports are deferred to first use: the netlist and sanitizer rule
+    modules pull in :mod:`repro.synth`, which the :mod:`repro.ir`
+    package (a lint consumer) must not transitively import at init time.
+    """
+    from . import graph_rules, netlist_rules, sanitize  # noqa: F401
+
+
+def get_rule(rule_id: str) -> Rule:
+    _load_rule_modules()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        raise KeyError(f"unknown lint rule {rule_id!r}") from None
+
+
+def rules_for(scope: str, select: Iterable[str] | None = None) -> list[Rule]:
+    """Registered rules of one scope, sorted by id.
+
+    ``select`` restricts to the given rule ids (ids from other scopes
+    are ignored, so one selection can span graph and netlist rules).
+    """
+    _load_rule_modules()
+    wanted = None if select is None else set(select)
+    return sorted(
+        (
+            r for r in _RULES.values()
+            if r.scope == scope and (wanted is None or r.id in wanted)
+        ),
+        key=lambda r: r.id,
+    )
+
+
+def rule_catalog() -> list[Rule]:
+    """Every registered rule, sorted by id (docs + CLI listing)."""
+    _load_rule_modules()
+    return sorted(_RULES.values(), key=lambda r: r.id)
+
+
+@dataclass
+class LintReport:
+    """All diagnostics of one lint run over one design.
+
+    ``ok`` mirrors :class:`~repro.lint.constraints.ValidationReport.ok`:
+    no *error*-severity findings.  ``clean`` is the stricter CI bar: no
+    errors and no warnings (info-severity findings -- expected
+    redundancy in this codebase's domain -- do not break it).
+    """
+
+    design: str = "design"
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Rule ids that actually ran (a finding's absence is only
+    #: meaningful for these).
+    checked: list[str] = field(default_factory=list)
+
+    def _of(self, severity: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.severity == severity]
+
+    @property
+    def errors(self) -> list[Diagnostic]:
+        return self._of(ERROR)
+
+    @property
+    def warnings(self) -> list[Diagnostic]:
+        return self._of(WARNING)
+
+    @property
+    def infos(self) -> list[Diagnostic]:
+        return self._of(INFO)
+
+    @property
+    def ok(self) -> bool:
+        return not self.errors
+
+    @property
+    def clean(self) -> bool:
+        return not self.errors and not self.warnings
+
+    def by_rule(self, rule_id: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.rule == rule_id]
+
+    def extend(self, other: "LintReport") -> "LintReport":
+        """Merge ``other``'s findings into this report (in place)."""
+        self.diagnostics.extend(other.diagnostics)
+        self.checked.extend(
+            c for c in other.checked if c not in self.checked
+        )
+        return self
+
+    def summary(self) -> str:
+        if not self.diagnostics:
+            return f"{self.design}: clean ({len(self.checked)} rules)"
+        parts = []
+        for label, found in (
+            ("errors", self.errors),
+            ("warnings", self.warnings),
+            ("infos", self.infos),
+        ):
+            if found:
+                parts.append(f"{len(found)} {label}")
+        return f"{self.design}: " + ", ".join(parts)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "design": self.design,
+            "diagnostics": [d.to_dict() for d in self.diagnostics],
+            "checked": list(self.checked),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict[str, Any]) -> "LintReport":
+        return cls(
+            design=data.get("design", "design"),
+            diagnostics=[
+                Diagnostic.from_dict(d) for d in data.get("diagnostics") or []
+            ],
+            checked=list(data.get("checked") or []),
+        )
+
+
+def lint_graph(
+    graph: Any, rules: Iterable[str] | None = None
+) -> LintReport:
+    """Run the graph-scope (``L0xx``) rules over ``graph``."""
+    selected = rules_for(GRAPH_SCOPE, rules)
+    report = LintReport(design=getattr(graph, "name", "design"))
+    for r in selected:
+        assert r.check is not None
+        report.diagnostics.extend(r.check(graph, r))
+        report.checked.append(r.id)
+    return report
+
+
+def lint_netlist(
+    netlist: Any, rules: Iterable[str] | None = None
+) -> LintReport:
+    """Run the netlist-scope (``N0xx``) rules over ``netlist``."""
+    selected = rules_for(NETLIST_SCOPE, rules)
+    report = LintReport(design=getattr(netlist, "name", "design"))
+    for r in selected:
+        assert r.check is not None
+        report.diagnostics.extend(r.check(netlist, r))
+        report.checked.append(r.id)
+    return report

@@ -1,0 +1,108 @@
+"""Netlist-scope lint rules (``N0xx``) over gate-level netlists.
+
+``N001``/``N002`` are the diagnostic (non-raising) form of
+:meth:`repro.synth.netlist.Netlist.check`; ``N003`` reports the gates
+that dead-code elimination (:func:`repro.synth.passes._dce`) would drop
+-- expected in fresh elaborations of redundant designs, hence *info*.
+"""
+
+from __future__ import annotations
+
+from ..synth.netlist import Gate, Netlist
+from .core import ERROR, INFO, NETLIST_SCOPE, Diagnostic, Rule, rule
+
+
+def _source_nets(netlist: Netlist) -> set[int]:
+    sources = {net for _, net in netlist.primary_inputs}
+    if netlist.const0 >= 0:
+        sources.add(netlist.const0)
+    if netlist.const1 >= 0:
+        sources.add(netlist.const1)
+    return sources
+
+
+@rule(
+    "N001", "floating-net", ERROR, NETLIST_SCOPE,
+    "Net read by a gate or primary output but driven by nothing.",
+)
+def check_floating_nets(netlist: Netlist, r: Rule) -> list[Diagnostic]:
+    known = _source_nets(netlist) | {g.output for g in netlist.gates}
+    out = []
+    seen: set[int] = set()
+    for idx, gate in enumerate(netlist.gates):
+        for net in gate.inputs:
+            if net not in known and net not in seen:
+                seen.add(net)
+                out.append(r.diag(
+                    f"gate {idx} ({gate.kind} -> net {gate.output}) "
+                    f"reads floating net {net}",
+                    nodes=[net],
+                ))
+    for name, net in netlist.primary_outputs:
+        if net not in known and net not in seen:
+            seen.add(net)
+            out.append(r.diag(
+                f"primary output {name} reads floating net {net}",
+                nodes=[net],
+            ))
+    return out
+
+
+@rule(
+    "N002", "multiply-driven-net", ERROR, NETLIST_SCOPE,
+    "Net driven by more than one gate, or a source net that is "
+    "also gate-driven.",
+)
+def check_multiply_driven(netlist: Netlist, r: Rule) -> list[Diagnostic]:
+    drivers: dict[int, list[int]] = {}
+    for idx, gate in enumerate(netlist.gates):
+        drivers.setdefault(gate.output, []).append(idx)
+    sources = _source_nets(netlist)
+    out = []
+    for net in sorted(drivers):
+        who = drivers[net]
+        if net in sources:
+            out.append(r.diag(
+                f"source net {net} is also driven by gate(s) {who}",
+                nodes=[net],
+            ))
+        elif len(who) > 1:
+            out.append(r.diag(
+                f"net {net} has {len(who)} gate drivers: {who}",
+                nodes=[net],
+            ))
+    return out
+
+
+@rule(
+    "N003", "dead-gate", INFO, NETLIST_SCOPE,
+    "Gate not backward-reachable from any primary output; "
+    "dead-code elimination removes it.",
+)
+def check_dead_gates(netlist: Netlist, r: Rule) -> list[Diagnostic]:
+    # First-driver map (tolerant of N002 defects, which are reported
+    # separately; Netlist.driver_map would raise on them).
+    driver: dict[int, Gate] = {}
+    for gate in netlist.gates:
+        driver.setdefault(gate.output, gate)
+    reachable: set[int] = set()
+    stack = [net for _, net in netlist.primary_outputs]
+    while stack:
+        net = stack.pop()
+        if net in reachable:
+            continue
+        reachable.add(net)
+        gate = driver.get(net)
+        if gate is not None:
+            stack.extend(gate.inputs)
+    dead = [
+        (idx, gate) for idx, gate in enumerate(netlist.gates)
+        if gate.output not in reachable
+    ]
+    if not dead:
+        return []
+    return [r.diag(
+        f"{len(dead)} gate(s) are unreachable from the primary outputs",
+        nodes=[gate.output for _, gate in dead],
+        gates=[idx for idx, _ in dead],
+    )]

@@ -1,0 +1,452 @@
+"""Runtime invariant auditor for the incremental machinery (``S0xx``).
+
+The search hot loop of :mod:`repro.mcts` runs entirely on memoized /
+incrementally-patched structures: :class:`~repro.ir.GraphView` wiring
+memos, the :class:`~repro.mcts.actions.SwapIndex` cone-edge cache,
+:class:`~repro.incr.DeltaNetlist` patch lineages,
+:class:`~repro.incr.IncrementalTiming` overlays and
+:class:`~repro.synth.simulate.PatchableSimulator` plans.  Each is
+differentially fuzz-tested offline, but nothing could check the
+invariants *in situ* when a real run misbehaves.
+
+This module is that check.  A :class:`Sanitizer` re-derives each
+structure from scratch at instrumented checkpoints and raises
+:class:`InvariantViolation` -- an exception carrying a
+:class:`~repro.lint.core.Diagnostic` with the edit provenance of the
+offending state -- on any divergence.  Activation is opt-in and scoped:
+
+* ``REPRO_SANITIZE=1`` (environment) audits every optimization run in
+  the process; a comma-separated value (``REPRO_SANITIZE=S001,S003``)
+  restricts the checkpoints.
+* ``MCTSConfig.sanitize`` / ``GenerateRequest.sanitize`` /
+  ``repro generate --sanitize`` audit one search / one request.
+
+Internally the active :class:`Sanitizer` rides a :class:`contextvars`
+context variable, so concurrent ``generate_batch`` workers sanitize
+independently and the default-off cost at each checkpoint is one
+context-variable read.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+from .core import ERROR, SANITIZER_SCOPE, Diagnostic, Rule, register
+
+if TYPE_CHECKING:  # pragma: no cover - import-cycle-free annotations only
+    from ..incr.delta import DeltaNetlist
+    from ..incr.timing import IncrementalTiming
+    from ..ir.graph import CircuitGraph
+    from ..synth.timing import TimingReport
+
+#: Sanitizer rules: listed in the catalog for docs/selection; their
+#: checks run from instrumented checkpoints, not from lint_graph().
+SANITIZER_RULES = tuple(register(Rule(
+    id=rule_id, title=title, severity=ERROR, scope=SANITIZER_SCOPE,
+    description=description,
+)) for rule_id, title, description in (
+    ("S001", "graphview-memo-coherence",
+     "edge_list/child_map/parent_rows/filled_rows memos must match the "
+     "materialized wiring."),
+    ("S002", "swap-index-coherence",
+     "SwapIndex's incrementally maintained cone-local edge list must "
+     "match a full edge re-scan."),
+    ("S003", "delta-netlist-coherence",
+     "DeltaNetlist.materialize() must match a fresh elaborate() of the "
+     "same graph (ports, gate counts, observed function)."),
+    ("S004", "incremental-timing-coherence",
+     "IncrementalTiming overlay reports must match analyze_timing on a "
+     "fresh elaboration."),
+    ("S005", "patchable-simulator-coherence",
+     "PatchableSimulator's re-linked plan must produce the packed "
+     "output words of a fresh compile."),
+))
+
+
+class InvariantViolation(RuntimeError):
+    """An incremental structure diverged from its from-scratch recompute."""
+
+    def __init__(self, diagnostic: Diagnostic):
+        super().__init__(str(diagnostic))
+        self.diagnostic = diagnostic
+
+
+_ACTIVE: ContextVar["Sanitizer | None"] = ContextVar(
+    "repro_sanitizer", default=None
+)
+
+
+def env_sanitize() -> bool:
+    """Whether ``REPRO_SANITIZE`` requests auditing (read live)."""
+    return os.environ.get("REPRO_SANITIZE", "").strip().lower() not in (
+        "", "0", "false", "off",
+    )
+
+
+def env_checks() -> frozenset[str] | None:
+    """Checkpoint subset named by ``REPRO_SANITIZE`` (``None`` = all)."""
+    value = os.environ.get("REPRO_SANITIZE", "")
+    ids = frozenset(
+        part.strip().upper() for part in value.split(",")
+        if part.strip().upper().startswith("S")
+    )
+    return ids or None
+
+
+def current_sanitizer() -> "Sanitizer | None":
+    """The sanitizer auditing this context, or ``None`` (the fast path)."""
+    return _ACTIVE.get()
+
+
+def is_sanitizing() -> bool:
+    return _ACTIVE.get() is not None
+
+
+@contextmanager
+def sanitizing(sanitizer: "Sanitizer | None") -> Iterator["Sanitizer | None"]:
+    """Audit everything under this context with ``sanitizer`` (no-op for
+    ``None``, so call sites need no branching)."""
+    if sanitizer is None:
+        yield None
+        return
+    token = _ACTIVE.set(sanitizer)
+    try:
+        yield sanitizer
+    finally:
+        _ACTIVE.reset(token)
+
+
+def _graph_provenance(graph: "CircuitGraph") -> dict[str, Any]:
+    """Edit provenance of a search state, for diagnostics."""
+    from ..ir.graph import GraphView
+
+    prov: dict[str, Any] = {
+        "graph": graph.name,
+        "state": type(graph).__name__,
+    }
+    if isinstance(graph, GraphView):
+        prov["overlay_nodes"] = graph.overlay_nodes()
+        prov["pattern_diverged"] = graph._pattern_diverged
+    chain: list[list[int]] = []
+    node = graph
+    for _ in range(32):
+        origin = getattr(node, "edit_origin", None)
+        if origin is None:
+            break
+        node, rewired = origin
+        chain.append(sorted(rewired))
+    if chain:
+        prov["edit_chain"] = chain
+    return prov
+
+
+class Sanitizer:
+    """Re-derives incremental structures from scratch at checkpoints.
+
+    ``checks`` restricts the audited rule ids (default: all of
+    ``S001``-``S005``); ``num_cycles``/``seed`` parameterize the packed
+    functional comparisons of S003/S005.  ``self.checks_run`` counts
+    performed audits, ``self.violations`` the failures raised.
+    """
+
+    def __init__(
+        self,
+        checks: Iterable[str] | None = None,
+        num_cycles: int = 32,
+        seed: int = 0,
+    ):
+        self.enabled = frozenset(checks) if checks is not None else None
+        self.num_cycles = num_cycles
+        self.seed = seed
+        self.checks_run = 0
+        self.violations = 0
+
+    def wants(self, rule_id: str) -> bool:
+        return self.enabled is None or rule_id in self.enabled
+
+    def _fail(
+        self,
+        rule_id: str,
+        message: str,
+        nodes: Iterable[int] = (),
+        **provenance: Any,
+    ) -> None:
+        self.violations += 1
+        diagnostic = Diagnostic(
+            rule=rule_id,
+            severity=ERROR,
+            message=message,
+            nodes=list(nodes),
+            provenance=provenance,
+        )
+        raise InvariantViolation(diagnostic)
+
+    # -- S001 ------------------------------------------------------------
+    def check_graph_memos(self, graph: "CircuitGraph") -> None:
+        """S001: every *cached* wiring memo matches the materialized rows.
+
+        Only memos that are actually populated are compared -- the
+        invariant under audit is "no memo serves a stale view", not
+        "every memo is populated".
+        """
+        if not self.wants("S001"):
+            return
+        self.checks_run += 1
+        rows = [list(graph._row(v)) for v in range(len(graph._nodes))]
+        prov = _graph_provenance(graph)
+
+        cached_edges = graph._edge_cache
+        if cached_edges is not None:
+            fresh_edges = [
+                (parent, child)
+                for child, slots in enumerate(rows)
+                for parent in slots
+                if parent is not None
+            ]
+            if cached_edges != fresh_edges:
+                bad = sorted({
+                    c for (_, c) in
+                    set(cached_edges).symmetric_difference(fresh_edges)
+                })
+                self._fail(
+                    "S001",
+                    "edge_list memo diverges from the materialized wiring",
+                    nodes=bad[:16], memo="edge_list", **prov,
+                )
+
+        memo = graph.__dict__.get("_parent_rows_memo")
+        if memo is not None:
+            fresh = tuple(tuple(row) for row in rows)
+            if memo != fresh:
+                bad = [v for v, (a, b) in enumerate(zip(memo, fresh)) if a != b]
+                self._fail(
+                    "S001",
+                    "parent_rows memo diverges from the materialized wiring",
+                    nodes=bad[:16], memo="parent_rows", **prov,
+                )
+
+        memo = graph.__dict__.get("_filled_rows_memo")
+        if memo is not None:
+            fresh_filled = [
+                [p for p in row if p is not None] for row in rows
+            ]
+            if list(memo) != fresh_filled:
+                bad = [
+                    v for v, (a, b) in enumerate(zip(memo, fresh_filled))
+                    if list(a) != b
+                ]
+                self._fail(
+                    "S001",
+                    "filled_rows memo diverges from the materialized wiring",
+                    nodes=bad[:16], memo="filled_rows", **prov,
+                )
+
+        memo = graph.__dict__.get("_child_map_memo")
+        if memo is not None:
+            fresh_map: list[list[int]] = [[] for _ in rows]
+            for child, slots in enumerate(rows):
+                seen = set()
+                for parent in slots:
+                    if parent is not None and parent not in seen:
+                        fresh_map[parent].append(child)
+                        seen.add(parent)
+            # Incremental patching may append fanout out of child order;
+            # consumers treat the lists as sets, so compare them as such.
+            bad = [
+                v for v in range(len(rows))
+                if sorted(memo[v]) != sorted(fresh_map[v])
+            ]
+            if bad:
+                self._fail(
+                    "S001",
+                    "child_map memo diverges from the materialized wiring",
+                    nodes=bad[:16], memo="child_map", **prov,
+                )
+
+    # -- S002 ------------------------------------------------------------
+    def check_swap_index(
+        self,
+        graph: "CircuitGraph",
+        cone_set: set[int],
+        local: list[tuple[int, int]],
+        positions: list[int],
+    ) -> None:
+        """S002: the maintained cone-local edge list matches a full
+        re-scan of the materialized wiring."""
+        if not self.wants("S002"):
+            return
+        self.checks_run += 1
+        fresh_edges = [
+            (parent, child)
+            for child in range(len(graph._nodes))
+            for parent in graph._row(child)
+            if parent is not None
+        ]
+        expect_local: list[tuple[int, int]] = []
+        expect_pos: list[int] = []
+        for pos, edge in enumerate(fresh_edges):
+            if edge[0] in cone_set or edge[1] in cone_set:
+                expect_local.append(edge)
+                expect_pos.append(pos)
+        if local != expect_local or positions != expect_pos:
+            bad = sorted({
+                v for edge in set(local).symmetric_difference(expect_local)
+                for v in edge
+            })
+            self._fail(
+                "S002",
+                "SwapIndex cone-local edge list diverges from a full "
+                f"re-scan ({len(local)} maintained vs "
+                f"{len(expect_local)} rescanned edges)",
+                nodes=bad[:16], **_graph_provenance(graph),
+            )
+
+    # -- S003 ------------------------------------------------------------
+    def _stimulus(
+        self, names: Iterable[str], num_cycles: int
+    ) -> dict[str, int]:
+        from ..synth.simulate import packed_stimulus_word
+
+        return {
+            name: packed_stimulus_word(self.seed, name, num_cycles)
+            for name in names
+        }
+
+    def check_delta(self, delta: "DeltaNetlist") -> None:
+        """S003: ``materialize()`` equals a fresh ``elaborate()`` of the
+        delta's graph -- ports, gate counts and observed function."""
+        if not self.wants("S003"):
+            return
+        self.checks_run += 1
+        from ..synth.elaborate import elaborate
+        from ..synth.simulate import BitParallelSimulator
+
+        materialized = delta.materialize(check=False)
+        fresh = elaborate(delta.graph, check=False)
+        prov = _graph_provenance(delta.graph)
+        prov["patched_nodes"] = sorted(delta.patched)
+        pi_names = [name for name, _ in materialized.primary_inputs]
+        po_names = [name for name, _ in materialized.primary_outputs]
+        if pi_names != [name for name, _ in fresh.primary_inputs]:
+            self._fail(
+                "S003", "materialized delta's primary inputs diverge "
+                "from a fresh elaboration", **prov,
+            )
+        if po_names != [name for name, _ in fresh.primary_outputs]:
+            self._fail(
+                "S003", "materialized delta's primary outputs diverge "
+                "from a fresh elaboration", **prov,
+            )
+        if materialized.gate_counts() != fresh.gate_counts():
+            self._fail(
+                "S003",
+                "materialized delta's gate counts "
+                f"{materialized.gate_counts()} diverge from a fresh "
+                f"elaboration's {fresh.gate_counts()}", **prov,
+            )
+        words = self._stimulus(pi_names, self.num_cycles)
+        outputs = []
+        for netlist in (materialized, fresh):
+            sim = BitParallelSimulator(netlist)
+            inputs = {
+                net: words[name] for name, net in netlist.primary_inputs
+            }
+            outputs.append(sim.run_packed(inputs, self.num_cycles))
+        if outputs[0] != outputs[1]:
+            bad = sorted(
+                name for name in outputs[0]
+                if outputs[0][name] != outputs[1].get(name)
+            )
+            self._fail(
+                "S003",
+                "materialized delta computes a different function than a "
+                f"fresh elaboration (outputs {bad[:8]} differ)", **prov,
+            )
+
+    # -- S004 ------------------------------------------------------------
+    def check_timing(
+        self,
+        timing: "IncrementalTiming",
+        delta: "DeltaNetlist",
+        report: "TimingReport",
+    ) -> None:
+        """S004: the overlay-assembled report equals ``analyze_timing``
+        on a fresh elaboration of the delta's graph."""
+        if not self.wants("S004"):
+            return
+        self.checks_run += 1
+        from ..synth.elaborate import elaborate
+        from ..synth.timing import analyze_timing
+
+        reference = analyze_timing(
+            elaborate(delta.graph, check=False),
+            timing.clock_period,
+            timing.library,
+            timing.strength,
+        )
+        if (
+            report.endpoint_slacks != reference.endpoint_slacks
+            or report.wns != reference.wns
+            or report.tns != reference.tns
+            or report.nvp != reference.nvp
+        ):
+            prov = _graph_provenance(delta.graph)
+            prov["patched_nodes"] = sorted(delta.patched)
+            self._fail(
+                "S004",
+                "incremental timing report "
+                f"(wns={report.wns}, tns={report.tns}, nvp={report.nvp}) "
+                "diverges from analyze_timing on a fresh elaboration "
+                f"(wns={reference.wns}, tns={reference.tns}, "
+                f"nvp={reference.nvp})", **prov,
+            )
+
+    # -- S005 ------------------------------------------------------------
+    def check_simulator(
+        self,
+        delta: "DeltaNetlist",
+        words_by_name: dict[str, int],
+        num_cycles: int,
+        observed: dict[str, int],
+    ) -> None:
+        """S005: the patched plan's packed outputs equal a fresh
+        compile over the materialized netlist."""
+        if not self.wants("S005"):
+            return
+        self.checks_run += 1
+        from ..synth.simulate import BitParallelSimulator
+
+        fresh = BitParallelSimulator(delta.materialize(check=False))
+        inputs = {
+            net: words_by_name.get(name, 0)
+            for name, net in fresh.netlist.primary_inputs
+        }
+        reference = fresh.run_packed(inputs, num_cycles)
+        if observed != reference:
+            bad = sorted(
+                name for name in observed
+                if observed[name] != reference.get(name)
+            )
+            prov = _graph_provenance(delta.graph)
+            prov["patched_nodes"] = sorted(delta.patched)
+            self._fail(
+                "S005",
+                "patched simulator plan computes different packed output "
+                f"words than a fresh compile (outputs {bad[:8]} differ)",
+                **prov,
+            )
+
+
+def from_config(active: bool, seed: int = 0) -> Sanitizer | None:
+    """The sanitizer an optimization run should use.
+
+    ``active`` is the per-run opt-in (``MCTSConfig.sanitize``); the
+    ``REPRO_SANITIZE`` environment switch turns auditing on globally and
+    may narrow the checkpoint set.
+    """
+    if not active and not env_sanitize():
+        return None
+    return Sanitizer(checks=env_checks(), seed=seed)

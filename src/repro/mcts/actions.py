@@ -16,6 +16,7 @@ from typing import NamedTuple
 import numpy as np
 
 from ..ir import CircuitGraph, GraphView, is_sequential
+from ..lint.sanitize import current_sanitizer
 
 
 class Swap(NamedTuple):
@@ -192,6 +193,10 @@ class SwapIndex:
         else:
             local, positions = derived
         graph._swap_local = (self, local, positions)
+        sanitizer = current_sanitizer()
+        if sanitizer is not None:
+            # S002: audit the maintained list against a full re-scan.
+            sanitizer.check_swap_index(graph, self.cone_set, local, positions)
         return local
 
     def _derive(self, graph, all_edges, prev, prev_cached, rewired):

@@ -15,6 +15,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..ir import CircuitGraph, GraphView
+from ..lint.sanitize import from_config as _sanitizer_from_config
+from ..lint.sanitize import sanitizing
 from .actions import SwapIndex, apply_swap
 from .cones import all_cones, driving_cone
 from .reward import CachedReward, ConeBatchEvaluator, SynthesisReward
@@ -62,6 +64,16 @@ class MCTSConfig:
     when equivalence cannot be established at all (the gate fails
     closed) -- keeping the search inside the original design's
     observable behaviour.
+
+    ``sanitize`` audits the run with :mod:`repro.lint.sanitize`: every
+    incrementally maintained structure the search touches (GraphView
+    wiring memos, the SwapIndex edge cache, delta netlists, timing
+    overlays, patched simulator plans) is cross-checked against a
+    from-scratch recomputation at its checkpoints, raising
+    :class:`~repro.lint.InvariantViolation` on divergence.  Pure
+    auditing: a sanitized run's result is bit-identical to an
+    unsanitized one.  The ``REPRO_SANITIZE`` environment variable turns
+    this on globally without touching configs.
     """
 
     num_simulations: int = 500
@@ -74,6 +86,7 @@ class MCTSConfig:
     cache_rewards: bool = True
     track_cone_function: bool = True
     require_functional_equivalence: bool = False
+    sanitize: bool = False
     seed: int = 0
 
 
@@ -96,6 +109,9 @@ class OptimizationReport:
     reward_rebases: int = 0
     #: Improved cone states rejected by the functional-equivalence gate.
     equivalence_rejections: int = 0
+    #: Invariant audits performed when the run was sanitized (0 = the
+    #: sanitizer was off; a sanitized run with violations raises).
+    sanitize_checks: int = 0
 
     @property
     def improved_cones(self) -> int:
@@ -149,6 +165,7 @@ def optimize_registers(
     search_base, incremental, oracle = _resolve_search_rewards(
         config, reward_fn
     )
+    sanitizer = _sanitizer_from_config(config.sanitize, seed=config.seed)
     current = graph.copy()
     report = OptimizationReport(
         graph=current, incremental=incremental is not None
@@ -172,86 +189,115 @@ def optimize_registers(
     if registers is not None:
         wanted = set(registers)
         cones = [c for c in cones if c.register in wanted]
-    for cone in cones:
-        if not cone.interior:
-            continue  # nothing to rewire inside a bare feedback register
-        if incremental is not None:
-            # current_pcs, when set, is the oracle's value for this same
-            # graph object -- rebase reuses it instead of re-synthesizing.
-            incremental.rebase(current, exact_pcs=current_pcs)
-            current_pcs = incremental.base_pcs
-        # One cache per cone search: within it the cone is fixed, so the
-        # reward is a pure function of the structural fingerprint.
-        search_reward = (
-            CachedReward(search_base) if config.cache_rewards else search_base
-        )
-        optimizer = MCTSOptimizer(
-            search_reward,
-            num_simulations=config.num_simulations,
-            max_depth=config.max_depth,
-            branching=config.branching,
-            exploration=config.exploration,
-            seed=config.seed + cone.register,
-        )
-        live_cone = driving_cone(current, cone.register)
-        result = optimizer.optimize_cone(current, live_cone)
-        report.cone_results[cone.register] = result
-        if isinstance(search_reward, CachedReward):
-            report.reward_calls += search_reward.calls
-            report.reward_cache_hits += search_reward.hits
-        accepted = False
-        rejected = False
-        preserved: bool | None = None
-        previous = current
-        if result.improved:
-            if config.require_functional_equivalence and evaluator is not None:
-                preserved = _cone_function_preserved(
-                    evaluator, current, result.best_graph, cone.register
-                )
-                if preserved is not True:
-                    # Hard gate fails *closed*: a state whose equivalence
-                    # cannot be established (check errored, preserved is
-                    # None) is rejected like a proven mismatch.
-                    rejected = True
-                    report.equivalence_rejections += 1
-                    if preserved is False:
-                        report.cone_function_preserved[cone.register] = False
-            if not rejected:
-                if oracle is None:
-                    current = result.best_graph
-                    # Without the oracle there is no exact value for the
-                    # new state; the next rebase must re-synthesize.
-                    current_pcs = None
-                    accepted = True
-                else:
-                    candidate_pcs = oracle(result.best_graph)
-                    if candidate_pcs > current_pcs + 1e-12:
-                        current = result.best_graph
-                        current_pcs = candidate_pcs
-                        accepted = True
-        if accepted:
-            # The accepted state becomes the next search base; cut the
-            # swap provenance chain so the intermediate rollout graphs
-            # it references can be reclaimed.
-            current.edit_origin = None
-            if evaluator is not None and config.track_cone_function:
-                if preserved is None:
-                    # The gate (when it ran) compared this same
-                    # (previous, current) pair; reuse its verdict.
+    # The sanitizing context is a no-op for sanitizer=None; inside it the
+    # incremental machinery's checkpoints (SwapIndex, delta netlists,
+    # timing overlays, patched simulators) audit themselves.
+    with sanitizing(sanitizer):
+        for cone in cones:
+            if not cone.interior:
+                continue  # nothing to rewire inside a bare feedback register
+            if incremental is not None:
+                # current_pcs, when set, is the oracle's value for this
+                # same graph object -- rebase reuses it instead of
+                # re-synthesizing.
+                incremental.rebase(current, exact_pcs=current_pcs)
+                current_pcs = incremental.base_pcs
+            # One cache per cone search: within it the cone is fixed, so
+            # the reward is a pure function of the structural fingerprint.
+            search_reward = (
+                CachedReward(search_base) if config.cache_rewards
+                else search_base
+            )
+            optimizer = MCTSOptimizer(
+                search_reward,
+                num_simulations=config.num_simulations,
+                max_depth=config.max_depth,
+                branching=config.branching,
+                exploration=config.exploration,
+                seed=config.seed + cone.register,
+            )
+            live_cone = driving_cone(current, cone.register)
+            result = optimizer.optimize_cone(current, live_cone)
+            report.cone_results[cone.register] = result
+            if isinstance(search_reward, CachedReward):
+                report.reward_calls += search_reward.calls
+                report.reward_cache_hits += search_reward.hits
+            if sanitizer is not None and result.improved:
+                # S001: the search's best state sits at the end of the
+                # deepest copy-on-write derivation chain this cone
+                # produced -- audit its wiring memos before acceptance
+                # decisions build on them.
+                sanitizer.check_graph_memos(result.best_graph)
+            accepted = False
+            rejected = False
+            preserved: bool | None = None
+            previous = current
+            if result.improved:
+                if (
+                    config.require_functional_equivalence
+                    and evaluator is not None
+                ):
                     preserved = _cone_function_preserved(
-                        evaluator, previous, current, cone.register
+                        evaluator, current, result.best_graph, cone.register
                     )
-                if preserved is not None:
-                    report.cone_function_preserved[cone.register] = preserved
-        if verbose:
-            outcome = (
-                "accepted" if accepted
-                else "rejected (function changed)" if rejected else "kept"
-            )
-            print(
-                f"[mcts] reg {cone.register}: pcs {result.initial_reward:.3f}"
-                f" -> {result.best_reward:.3f} ({outcome})"
-            )
+                    if preserved is not True:
+                        # Hard gate fails *closed*: a state whose
+                        # equivalence cannot be established (check
+                        # errored, preserved is None) is rejected like a
+                        # proven mismatch.
+                        rejected = True
+                        report.equivalence_rejections += 1
+                        if preserved is False:
+                            report.cone_function_preserved[
+                                cone.register
+                            ] = False
+                if not rejected:
+                    if oracle is None:
+                        current = result.best_graph
+                        # Without the oracle there is no exact value for
+                        # the new state; the next rebase must
+                        # re-synthesize.
+                        current_pcs = None
+                        accepted = True
+                    else:
+                        candidate_pcs = oracle(result.best_graph)
+                        if candidate_pcs > current_pcs + 1e-12:
+                            current = result.best_graph
+                            current_pcs = candidate_pcs
+                            accepted = True
+            if accepted:
+                # The accepted state becomes the next search base; cut
+                # the swap provenance chain so the intermediate rollout
+                # graphs it references can be reclaimed.
+                current.edit_origin = None
+                if sanitizer is not None:
+                    # S001 again, post-acceptance: the provenance cut
+                    # must not have disturbed the memos the next cone
+                    # search will derive from.
+                    sanitizer.check_graph_memos(current)
+                if evaluator is not None and config.track_cone_function:
+                    if preserved is None:
+                        # The gate (when it ran) compared this same
+                        # (previous, current) pair; reuse its verdict.
+                        preserved = _cone_function_preserved(
+                            evaluator, previous, current, cone.register
+                        )
+                    if preserved is not None:
+                        report.cone_function_preserved[
+                            cone.register
+                        ] = preserved
+            if verbose:
+                outcome = (
+                    "accepted" if accepted
+                    else "rejected (function changed)" if rejected else "kept"
+                )
+                print(
+                    f"[mcts] reg {cone.register}: "
+                    f"pcs {result.initial_reward:.3f}"
+                    f" -> {result.best_reward:.3f} ({outcome})"
+                )
+    if sanitizer is not None:
+        report.sanitize_checks = sanitizer.checks_run
     if incremental is not None:
         report.reward_patches = incremental.patches
         report.reward_rebases = incremental.rebases
@@ -299,6 +345,7 @@ def random_search_registers(
     search_base, incremental, oracle = _resolve_search_rewards(
         config, reward_fn
     )
+    sanitizer = _sanitizer_from_config(config.sanitize, seed=config.seed)
     rng = np.random.default_rng(config.seed)
     current = graph.copy()
     report = OptimizationReport(
@@ -313,79 +360,89 @@ def random_search_registers(
         if config.require_functional_equivalence else None
     )
 
-    for cone in all_cones(current):
-        if not cone.interior:
-            continue
-        if incremental is not None:
-            incremental.rebase(current, exact_pcs=current_pcs)
-            current_pcs = incremental.base_pcs
-        index = SwapIndex([cone.register, *cone.interior])
-        live = driving_cone(current, cone.register)
-        search_reward = (
-            CachedReward(search_base) if config.cache_rewards else search_base
-        )
-        initial = search_reward(current, live)
-        best_graph, best_reward = current, initial
-        state = current
-        steps = 0
-        rewards_seen = [initial]
-        while steps < config.num_simulations:
-            swaps = index.sample(state, rng, 1)
-            if not swaps:
-                break
-            nxt = apply_swap(state, swaps[0])
-            steps += 1
-            if nxt is None:
+    with sanitizing(sanitizer):
+        for cone in all_cones(current):
+            if not cone.interior:
                 continue
-            state = nxt
-            r = search_reward(state, cone)
-            rewards_seen.append(r)
-            if r > best_reward:
-                best_reward, best_graph = r, state
-            # Periodic restart mirrors the MCTS depth limit.
-            if steps % config.max_depth == 0:
-                state = best_graph
-        report.cone_results[cone.register] = ConeSearchResult(
-            best_graph=best_graph,
-            best_reward=best_reward,
-            initial_reward=initial,
-            simulations=steps,
-            rewards_seen=rewards_seen,
-        )
-        if isinstance(search_reward, CachedReward):
-            report.reward_calls += search_reward.calls
-            report.reward_cache_hits += search_reward.hits
-        if best_reward > initial + 1e-12:
-            rejected = False
-            if evaluator is not None:
-                # Same hard gate as the MCTS driver: improved states
-                # whose cone function changed (or cannot be checked)
-                # are not committed.
-                preserved = _cone_function_preserved(
-                    evaluator, current, best_graph, cone.register
-                )
-                if preserved is not True:
-                    rejected = True
-                    report.equivalence_rejections += 1
-                    if preserved is False:
-                        report.cone_function_preserved[cone.register] = False
-            if rejected:
-                pass
-            elif oracle is None:
-                current = best_graph
-                current_pcs = None
-                current.edit_origin = None
-            else:
-                candidate_pcs = oracle(best_graph)
-                if candidate_pcs > current_pcs + 1e-12:
-                    current = best_graph
-                    current_pcs = candidate_pcs
-                    current.edit_origin = None
-        if verbose:
-            print(
-                f"[random] reg {cone.register}: pcs {initial:.3f}"
-                f" -> {best_reward:.3f}"
+            if incremental is not None:
+                incremental.rebase(current, exact_pcs=current_pcs)
+                current_pcs = incremental.base_pcs
+            index = SwapIndex([cone.register, *cone.interior])
+            live = driving_cone(current, cone.register)
+            search_reward = (
+                CachedReward(search_base) if config.cache_rewards
+                else search_base
             )
+            initial = search_reward(current, live)
+            best_graph, best_reward = current, initial
+            state = current
+            steps = 0
+            rewards_seen = [initial]
+            while steps < config.num_simulations:
+                swaps = index.sample(state, rng, 1)
+                if not swaps:
+                    break
+                nxt = apply_swap(state, swaps[0])
+                steps += 1
+                if nxt is None:
+                    continue
+                state = nxt
+                r = search_reward(state, cone)
+                rewards_seen.append(r)
+                if r > best_reward:
+                    best_reward, best_graph = r, state
+                # Periodic restart mirrors the MCTS depth limit.
+                if steps % config.max_depth == 0:
+                    state = best_graph
+            report.cone_results[cone.register] = ConeSearchResult(
+                best_graph=best_graph,
+                best_reward=best_reward,
+                initial_reward=initial,
+                simulations=steps,
+                rewards_seen=rewards_seen,
+            )
+            if isinstance(search_reward, CachedReward):
+                report.reward_calls += search_reward.calls
+                report.reward_cache_hits += search_reward.hits
+            if best_reward > initial + 1e-12:
+                if sanitizer is not None:
+                    # S001: audit the winning state's memo chain before
+                    # committing it as the next search base.
+                    sanitizer.check_graph_memos(best_graph)
+                rejected = False
+                if evaluator is not None:
+                    # Same hard gate as the MCTS driver: improved states
+                    # whose cone function changed (or cannot be checked)
+                    # are not committed.
+                    preserved = _cone_function_preserved(
+                        evaluator, current, best_graph, cone.register
+                    )
+                    if preserved is not True:
+                        rejected = True
+                        report.equivalence_rejections += 1
+                        if preserved is False:
+                            report.cone_function_preserved[
+                                cone.register
+                            ] = False
+                if rejected:
+                    pass
+                elif oracle is None:
+                    current = best_graph
+                    current_pcs = None
+                    current.edit_origin = None
+                else:
+                    candidate_pcs = oracle(best_graph)
+                    if candidate_pcs > current_pcs + 1e-12:
+                        current = best_graph
+                        current_pcs = candidate_pcs
+                        current.edit_origin = None
+            if verbose:
+                print(
+                    f"[random] reg {cone.register}: pcs {initial:.3f}"
+                    f" -> {best_reward:.3f}"
+                )
+    if sanitizer is not None:
+        report.sanitize_checks = sanitizer.checks_run
     if incremental is not None:
         report.reward_patches = incremental.patches
         report.reward_rebases = incremental.rebases

@@ -17,10 +17,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..ir import CircuitGraph, GraphView, NUM_TYPES, NodeType, is_sequential
+from ..ir import CircuitGraph, GraphView, NUM_TYPES, NodeType
+from ..lint.sanitize import current_sanitizer
 from ..synth import synthesize
 from ..synth.simulate import PatchableSimulator, packed_stimulus_word
-from .cones import Cone, canonical_cone, cone_subcircuit, driving_cone
+from .cones import Cone, canonical_cone, cone_subcircuit
 
 
 class SynthesisReward:
@@ -267,6 +268,11 @@ class ConeBatchEvaluator:
             else:
                 self.patched_elaborations += 1
         self._cone_deltas[register] = delta
+        sanitizer = current_sanitizer()
+        if sanitizer is not None:
+            # S003: audit the cone's patch lineage against a fresh
+            # elaboration of the same sub-circuit.
+            sanitizer.check_delta(delta)
         simulator = self._cone_sims.get(register)
         if simulator is None:
             simulator = self._cone_sims[register] = PatchableSimulator()
@@ -275,12 +281,23 @@ class ConeBatchEvaluator:
     def signature(self, graph: CircuitGraph, register: int) -> ConeSignature:
         """Simulate ``register``'s driving cone in ``graph``."""
         simulator = self._cone_simulator(graph, register)
+        sanitizer = current_sanitizer()
         inputs = {}
+        words_by_name: dict[str, int] = {}
         for name, net in simulator.primary_inputs:
             marker, rest = name.rsplit("_", 1)
             bit = int(rest[rest.index("[") + 1:-1])
-            inputs[net] = self._word_for(marker, bit)
+            word = self._word_for(marker, bit)
+            inputs[net] = word
+            if sanitizer is not None:
+                words_by_name[name] = word
         out_words = simulator.run_packed(inputs, self.num_cycles)
+        if sanitizer is not None:
+            # S005: the re-linked plan's words vs a fresh compile.
+            sanitizer.check_simulator(
+                self._cone_deltas[register], words_by_name,
+                self.num_cycles, out_words,
+            )
         by_bit = sorted(
             (int(name[name.index("[") + 1:-1]), word)
             for name, word in out_words.items()

@@ -1,10 +1,9 @@
 """Edge-case coverage for the HDL bijection beyond the core roundtrips."""
 
-import numpy as np
 import pytest
 
 from repro.hdl import generate_verilog, parse_expression, parse_verilog
-from repro.hdl.parser import BinOp, Concat, Ident, Literal, Slice, Ternary, UnOp
+from repro.hdl.parser import BinOp, Concat, Slice, Ternary, UnOp
 from repro.ir import GraphBuilder, NodeType, validate
 
 

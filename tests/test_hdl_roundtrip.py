@@ -8,7 +8,6 @@ from repro.ir import GraphBuilder, NodeType, validate
 
 def _signature(graph):
     """Canonical structural signature keyed by emitted signal names."""
-    from repro.hdl import signal_name
 
     # Parser may order nodes differently; match by (type, width, params)
     # multiset plus the parent structure expressed through name mapping.

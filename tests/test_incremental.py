@@ -253,8 +253,6 @@ class TestCandidateQueue:
     def test_flush_evaluates_in_order_with_shared_stimulus(self):
         graph = load_design("alu")
         rng = np.random.default_rng(3)
-        register = graph.registers()[0]
-        cone = [register]
         candidates = [graph, *_swap_chain(graph, rng, 6)]
         queue = CandidateQueue(graph, num_cycles=64, seed=0, clock_period=CLOCK)
         for candidate in candidates:

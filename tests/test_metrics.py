@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.bench_designs import load_design
-from repro.ir import GraphBuilder
 from repro.metrics import (
     class_homophily,
     class_homophily_two_hop,

@@ -1,6 +1,5 @@
 """End-to-end tests for the SynCircuit pipeline."""
 
-import numpy as np
 import pytest
 
 from repro.bench_designs import load_corpus

@@ -32,9 +32,9 @@ class TestNetlistEmission:
 
     def test_dffs_have_clock_pin(self, result):
         text = emit_netlist_verilog(result.netlist)
-        dff_lines = [l for l in text.splitlines() if "DFF_X" in l]
+        dff_lines = [line for line in text.splitlines() if "DFF_X" in line]
         assert dff_lines
-        assert all(".CK(clk)" in l for l in dff_lines)
+        assert all(".CK(clk)" in line for line in dff_lines)
 
     def test_cell_names_follow_strength(self, result):
         weak = emit_netlist_verilog(result.netlist, strength=1)
@@ -69,7 +69,7 @@ class TestQoRReport:
 
     def test_cell_counts_sum(self, result):
         report = qor_report(result)
-        total_line = [l for l in report.splitlines() if "total" in l][0]
+        total_line = [line for line in report.splitlines() if "total" in line][0]
         assert str(result.num_cells) in total_line
 
     def test_optimization_line(self, result):

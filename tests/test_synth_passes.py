@@ -1,11 +1,9 @@
 """Optimization pass tests: redundancy removal + behaviour preservation."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.ir import GraphBuilder, NodeType
+from repro.ir import GraphBuilder
 from repro.synth import elaborate, optimize
 from repro.synth.netlist import Gate, Netlist
 from repro.synth.simulate import drive_word, pack_word, simulate

@@ -7,7 +7,6 @@ from repro.synth import (
     DEFAULT_LIBRARY,
     CellLibrary,
     analyze_timing,
-    elaborate,
     pareto_sweep,
     synthesize,
     total_area,
