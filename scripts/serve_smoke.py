@@ -1,0 +1,61 @@
+"""CI smoke for the generation service (not a test).
+
+Boots a real ``repro serve`` (spawn worker pool, persistent queue),
+drives one full request, proves a duplicate submit is answered with
+zero worker dispatch, checks the websocket stream reaches its terminal
+frame, and shuts down cleanly.  Exit code is the verdict.  Run:
+
+    PYTHONPATH=src python scripts/serve_smoke.py
+"""
+
+import sys
+import tempfile
+
+from repro.api import GenerateRequest, Session
+from repro.api.presets import resolve_preset
+from repro.serve import ReproServer, ServeClient
+
+
+def main() -> int:
+    config = resolve_preset("smoke")
+    print("[smoke] pre-fitting the smoke scenario ...")
+    Session(config=config).fit()
+
+    server = ReproServer(
+        config=config,
+        workers=2,
+        queue_dir=tempfile.mkdtemp(prefix="repro-serve-smoke-"),
+    ).start_background()
+    print(f"[smoke] server up on port {server.port}")
+    try:
+        client = ServeClient(f"http://127.0.0.1:{server.port}")
+        assert client.healthy(), "healthz failed"
+
+        request = GenerateRequest(count=2, nodes=40, seed=7)
+        accepted = client.submit(request)
+        assert not accepted["deduplicated"], "fresh request deduplicated"
+        events = list(client.stream(accepted["job_id"]))
+        assert events[-1]["type"] == "done", f"stream ended on {events[-1]}"
+        result = client.result(accepted["job_id"])
+        assert len(result.records) == 2
+        print(f"[smoke] roundtrip ok: {len(events)} stream frames, "
+              f"{result.elapsed:.2f}s in the worker")
+
+        before = client.stats()["dispatched"]
+        duplicate = client.submit(request)
+        assert duplicate["deduplicated"], "duplicate was not deduplicated"
+        assert duplicate["job_id"] == accepted["job_id"]
+        assert client.stats()["dispatched"] == before, \
+            "dedup hit dispatched a worker"
+        print("[smoke] dedup hit ok: zero worker dispatch")
+
+        client.shutdown()
+    finally:
+        server.stop()
+    assert server.pool.alive() == 0, "worker processes survived shutdown"
+    print("[smoke] clean shutdown ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

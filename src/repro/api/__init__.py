@@ -26,11 +26,12 @@ from .requests import (
     SynthRequest,
     SynthSummary,
 )
-from .session import Session
+from .session import BatchItemError, Session
 from .store import ArtifactStore, fingerprint, graphs_fingerprint
 
 __all__ = [
     "ArtifactStore",
+    "BatchItemError",
     "BenchRequest",
     "EvalRequest",
     "EvalResult",

@@ -47,6 +47,25 @@ from .requests import (
 from .store import ArtifactStore, graphs_fingerprint
 
 
+class BatchItemError(RuntimeError):
+    """One item of a generate batch failed.
+
+    Carries the failing request's batch ``index`` (and item name) and
+    chains the worker's original exception as ``__cause__``.  When it is
+    raised, every *pending* sibling future has been cancelled; items
+    already running are allowed to finish (threads cannot be aborted)
+    but their results are discarded.
+    """
+
+    def __init__(self, index: int, name: str, cause: BaseException):
+        self.index = index
+        self.name = name
+        super().__init__(
+            f"generation of batch item {index} ({name!r}) failed: "
+            f"{type(cause).__name__}: {cause}"
+        )
+
+
 def _item_rngs(seed: int, count: int) -> list[np.random.Generator]:
     """Independent, deterministic per-item generators.
 
@@ -239,6 +258,28 @@ class Session:
         ]
         return self._finalize(records, request, started)
 
+    @staticmethod
+    def _collect_ordered(
+        futures: list, indices: list[int], request: GenerateRequest
+    ) -> Iterator[GenerationRecord]:
+        """Yield future results in submission (= index) order.
+
+        On a failing item, every not-yet-started sibling is cancelled
+        and the failure is re-raised as :class:`BatchItemError` chaining
+        the worker's exception with the item's batch index -- the map
+        idiom this replaces lost the index and left siblings running.
+        """
+        for position, future in enumerate(futures):
+            try:
+                yield future.result()
+            except Exception as exc:
+                for pending in futures[position + 1:]:
+                    pending.cancel()
+                index = indices[position]
+                raise BatchItemError(
+                    index, f"{request.name_prefix}{index}", exc
+                ) from exc
+
     def generate_batch(
         self, request: GenerateRequest | None = None, **kwargs
     ) -> GenerateResult:
@@ -248,7 +289,9 @@ class Session:
         :meth:`generate` for the same request; only wall-clock changes.
         Phase 1 runs up front as one batched diffusion pass (equal-size
         items share each denoiser forward); the workers then fan out
-        over refinement and optimization.
+        over refinement and optimization.  A failing item cancels the
+        batch's pending work and raises :class:`BatchItemError` with the
+        item's index (the original exception chained as ``__cause__``).
         """
         request = request or GenerateRequest(**kwargs)
         if request.workers <= 1:
@@ -256,20 +299,31 @@ class Session:
         started = time.perf_counter()
         rngs, sizes, samples = self._prepare_items(request)
         with ThreadPoolExecutor(max_workers=request.workers) as pool:
-            records = list(pool.map(
-                lambda k: self._generate_item(
-                    k, rngs[k], request, sizes[k], samples[k]
-                ),
-                range(request.count),
+            futures = [
+                pool.submit(
+                    self._generate_item,
+                    k, rngs[k], request, sizes[k], samples[k],
+                )
+                for k in range(request.count)
+            ]
+            records = list(self._collect_ordered(
+                futures, list(range(request.count)), request
             ))
         return self._finalize(records, request, started)
 
     def iter_generate(
         self, request: GenerateRequest | None = None, **kwargs
     ) -> Iterator[GenerationRecord]:
-        """Streaming variant: yield records in index order as they
-        complete, so consumers can pipeline without waiting for the
-        whole batch.  Same determinism guarantee as the batch path."""
+        """Streaming variant: yield records strictly in index order as
+        they complete, so consumers can pipeline without waiting for the
+        whole batch.  Same determinism guarantee as the batch path.
+
+        Error contract (mirrors :meth:`generate_batch`): if item ``k``
+        fails, every record before ``k`` has already been yielded in
+        order, pending work is cancelled, and :class:`BatchItemError`
+        is raised with index ``k`` chaining the original exception --
+        the consumer can resubmit exactly the lost tail.
+        """
         request = request or GenerateRequest(**kwargs)
         # Streaming keeps its first-record-latency contract: phase 1 is
         # presampled in bounded chunks rather than for the whole batch
@@ -293,18 +347,27 @@ class Session:
         if request.workers <= 1:
             for lo in range(0, request.count, chunk):
                 for k, presampled in chunk_items(lo):
-                    yield self._generate_item(
-                        k, rngs[k], request, sizes[k], presampled
-                    )
+                    try:
+                        yield self._generate_item(
+                            k, rngs[k], request, sizes[k], presampled
+                        )
+                    except Exception as exc:
+                        raise BatchItemError(
+                            k, f"{request.name_prefix}{k}", exc
+                        ) from exc
             return
         with ThreadPoolExecutor(max_workers=request.workers) as pool:
             for lo in range(0, request.count, chunk):
-                yield from pool.map(
-                    lambda item: self._generate_item(
-                        item[0], rngs[item[0]], request,
-                        sizes[item[0]], item[1],
-                    ),
-                    chunk_items(lo),
+                items = chunk_items(lo)
+                futures = [
+                    pool.submit(
+                        self._generate_item,
+                        k, rngs[k], request, sizes[k], presampled,
+                    )
+                    for k, presampled in items
+                ]
+                yield from self._collect_ordered(
+                    futures, [k for k, _ in items], request
                 )
 
     # -- synthesis -------------------------------------------------------

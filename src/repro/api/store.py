@@ -194,16 +194,33 @@ class ArtifactStore:
 
     def _atomic_write(self, path: pathlib.Path, writer) -> None:
         """Write via a same-directory temp file + rename so concurrent
-        sessions never observe a half-written artifact."""
+        sessions never observe a half-written artifact.
+
+        Writers that derive their own filename (``np.savez`` appends
+        ``.npz`` to a suffix-less path) emit next to the mkstemp
+        placeholder rather than into it; the derived file -- when it
+        exists -- is therefore always the real artifact and the
+        placeholder is empty, never the other way around.  The data and
+        the rename are fsynced so a crash right after ``os.replace``
+        cannot leave an empty (or truncated) file under the final name.
+        """
         fd, tmp = tempfile.mkstemp(
             dir=self.root, prefix=path.stem, suffix=path.suffix
         )
         os.close(fd)
+        derived = tmp + ".npz"
         try:
             writer(tmp)
-            # np.savez appends .npz when missing; normalise.
-            produced = tmp if os.path.exists(tmp) else tmp + ".npz"
+            produced = derived if os.path.exists(derived) else tmp
+            with open(produced, "rb") as handle:
+                os.fsync(handle.fileno())
             os.replace(produced, path)
+            dir_fd = os.open(self.root, os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
         finally:
-            if os.path.exists(tmp):
-                os.unlink(tmp)
+            for leftover in (tmp, derived):
+                if os.path.exists(leftover):
+                    os.unlink(leftover)

@@ -23,6 +23,7 @@ from .report import (
     git_revision,
     render_profile,
 )
+from .serve_suite import build_serve_benchmarks, run_serve_suite
 from .suites import SIM_CYCLES, build_suite, run_suite
 
 __all__ = [
@@ -32,8 +33,10 @@ __all__ = [
     "BenchReport",
     "Benchmark",
     "Regression",
+    "build_serve_benchmarks",
     "build_suite",
     "compare",
+    "run_serve_suite",
     "git_revision",
     "render_profile",
     "run_benchmark",

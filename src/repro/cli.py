@@ -222,17 +222,130 @@ def _cmd_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_bench(args: argparse.Namespace) -> int:
-    from .bench import BenchReport, compare, render_profile, run_suite
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
 
-    report = run_suite(
-        preset=args.preset,
-        seed=args.seed,
-        repeats=args.repeats,
-        warmup=args.warmup,
-        filter_pattern=args.filter,
-        progress=print,
+    from .api import Session, resolve_preset
+    from .serve import ReproServer
+
+    try:
+        config = resolve_preset(args.preset, seed=args.seed)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    if not args.no_prefit:
+        # Fit once in-process so the N spawned workers boot from the
+        # artifact cache instead of training N times concurrently.
+        print(f"pre-fitting preset {args.preset!r} into the artifact "
+              "store ...")
+        Session(config=config, cache_dir=args.cache_dir).fit()
+    server = ReproServer(
+        config=config,
+        workers=args.workers,
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        queue_dir=args.queue_dir,
     )
+
+    async def main() -> None:
+        task = asyncio.create_task(server.run())
+        # run() rebinds server.port once the socket is listening.
+        while server.port == 0 and not task.done():
+            await asyncio.sleep(0.01)
+        if not task.done():
+            print(f"repro serve: listening on "
+                  f"http://{server.host}:{server.port} "
+                  f"({args.workers} workers, queue {server.queue.root})")
+        await task
+
+    try:
+        asyncio.run(main())
+    except KeyboardInterrupt:
+        print("repro serve: interrupted, draining workers ...")
+        server.pool.stop()
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from .serve import ServeClient
+
+    client = ServeClient(args.url)
+    request = {
+        "count": args.count,
+        "nodes": args.nodes,
+        "seed": args.seed,
+        "optimize": not args.no_optimize,
+    }
+    if args.synth_period is not None:
+        request["synth_period"] = args.synth_period
+    accepted = client.submit(request, dedupe=not args.no_dedupe)
+    print(f"job {accepted['job_id']}: {accepted['state']}"
+          + (" (deduplicated)" if accepted["deduplicated"] else ""))
+    if args.follow:
+        for event in client.stream(accepted["job_id"]):
+            if event["type"] == "progress":
+                timings = event.get("timings", {})
+                phases = " ".join(
+                    f"{phase} {seconds * 1000:.0f}ms"
+                    for phase, seconds in timings.items()
+                )
+                print(f"  record {event['index'] + 1}/{event['count']}"
+                      f"  {phases}")
+            elif event["type"] in ("done", "failed"):
+                print(f"  {event['type']}"
+                      + (f" in {event['elapsed']:.2f}s"
+                         if event["type"] == "done" else
+                         f": {event['error']}"))
+    status = client.wait(accepted["job_id"])
+    if status["state"] != "done":
+        print(f"job failed: {status.get('error')}")
+        return 1
+    result = client.result(accepted["job_id"])
+    if args.json:
+        print(json.dumps(result.to_dict()))
+    else:
+        for graph in result.graphs:
+            print(f"  {graph.name}: {graph.num_nodes} nodes, "
+                  f"{graph.num_edges} edges")
+    return 0
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from .serve import ServeClient, run_top
+
+    return run_top(
+        ServeClient(args.url), interval=args.interval, once=args.once
+    )
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from .bench import (
+        BenchReport,
+        compare,
+        render_profile,
+        run_serve_suite,
+        run_suite,
+    )
+
+    if args.suite == "serve":
+        report = run_serve_suite(
+            preset=args.preset,
+            seed=args.seed,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            workers=args.serve_workers,
+            filter_pattern=args.filter,
+            progress=print,
+        )
+    else:
+        report = run_suite(
+            preset=args.preset,
+            seed=args.seed,
+            repeats=args.repeats,
+            warmup=args.warmup,
+            filter_pattern=args.filter,
+            progress=print,
+        )
     # Load the baseline *before* writing: with the default output path
     # `repro bench --compare BENCH_smoke.json` would otherwise overwrite
     # the baseline and then compare the fresh report against itself.
@@ -391,12 +504,76 @@ def build_parser() -> argparse.ArgumentParser:
     p_gen.add_argument("-o", "--output", default="generated")
     p_gen.set_defaults(func=_cmd_generate)
 
+    p_serve = sub.add_parser(
+        "serve", help="run the async generation job server (HTTP + websocket)"
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8760)
+    p_serve.add_argument(
+        "--workers", type=int, default=4,
+        help="worker processes (artifacts are bit-identical at any count)",
+    )
+    p_serve.add_argument(
+        "--preset", default="fast",
+        help="scenario preset every job runs under (see `repro presets`)",
+    )
+    p_serve.add_argument("--seed", type=int, default=None)
+    p_serve.add_argument(
+        "--queue-dir", default=None,
+        help="persistent job-queue directory (default: <store>/serve-queue; "
+             "unfinished jobs found here are replayed on boot)",
+    )
+    p_serve.add_argument(
+        "--no-prefit", action="store_true",
+        help="skip the in-process warmup fit (workers then train on boot)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a generation job to a running `repro serve`"
+    )
+    p_submit.add_argument("--url", default="http://127.0.0.1:8760")
+    p_submit.add_argument("-n", "--count", type=int, default=1)
+    p_submit.add_argument("--nodes", type=int, default=60)
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--synth-period", type=float, default=None)
+    p_submit.add_argument("--no-optimize", action="store_true")
+    p_submit.add_argument(
+        "--no-dedupe", action="store_true",
+        help="force a worker run even if the identical request is cached",
+    )
+    p_submit.add_argument(
+        "--follow", action="store_true",
+        help="stream per-record progress over the websocket channel",
+    )
+    p_submit.add_argument("--json", action="store_true",
+                          help="print the full GenerateResult JSON")
+    p_submit.set_defaults(func=_cmd_submit)
+
+    p_top = sub.add_parser(
+        "top", help="live status view of a running `repro serve`"
+    )
+    p_top.add_argument("--url", default="http://127.0.0.1:8760")
+    p_top.add_argument("--interval", type=float, default=1.0)
+    p_top.add_argument("--once", action="store_true",
+                       help="render one frame and exit (no screen clear)")
+    p_top.set_defaults(func=_cmd_top)
+
     p_bench = sub.add_parser(
         "bench", help="run the microbenchmark suite, write BENCH_<suite>.json"
     )
     p_bench.add_argument(
         "--preset", default="smoke",
         help="scenario preset sizing the workloads (see `repro presets`)",
+    )
+    p_bench.add_argument(
+        "--suite", choices=("standard", "serve"), default="standard",
+        help="'serve' measures the job server (requests/s, p50/p99) "
+             "and writes BENCH_serve.json",
+    )
+    p_bench.add_argument(
+        "--serve-workers", type=int, default=2,
+        help="worker processes for --suite serve",
     )
     p_bench.add_argument("--repeats", type=int, default=3,
                          help="timed runs per benchmark (best is reported)")

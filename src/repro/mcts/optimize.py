@@ -112,6 +112,13 @@ class OptimizationReport:
     #: Invariant audits performed when the run was sanitized (0 = the
     #: sanitizer was off; a sanitized run with violations raises).
     sanitize_checks: int = 0
+    #: Cone-equivalence checks that errored out (simulator/elaboration
+    #: failures) and therefore answered "unknown".  Non-zero means the
+    #: diagnostic -- or the equivalence gate, which fails closed -- is
+    #: degraded, not that the search result is wrong; a silent zero with
+    #: empty ``cone_function_preserved`` would otherwise be
+    #: indistinguishable from "nothing was accepted".
+    cone_check_failures: int = 0
 
     @property
     def improved_cones(self) -> int:
@@ -238,7 +245,8 @@ def optimize_registers(
                     and evaluator is not None
                 ):
                     preserved = _cone_function_preserved(
-                        evaluator, current, result.best_graph, cone.register
+                        evaluator, current, result.best_graph,
+                        cone.register, report,
                     )
                     if preserved is not True:
                         # Hard gate fails *closed*: a state whose
@@ -280,7 +288,8 @@ def optimize_registers(
                         # The gate (when it ran) compared this same
                         # (previous, current) pair; reuse its verdict.
                         preserved = _cone_function_preserved(
-                            evaluator, previous, current, cone.register
+                            evaluator, previous, current,
+                            cone.register, report,
                         )
                     if preserved is not None:
                         report.cone_function_preserved[
@@ -310,21 +319,32 @@ def optimize_registers(
     return report
 
 
+#: Failure modes the cone simulation can legitimately hit on a candidate
+#: state (cyclic subgraph, missing net, non-converging feedback
+#: fixpoint).  Anything else -- a TypeError, an InvariantViolation from
+#: the sanitizer -- is a bug in the engine and must propagate.
+_CONE_CHECK_ERRORS = (ValueError, KeyError, RuntimeError)
+
+
 def _cone_function_preserved(
     evaluator: ConeBatchEvaluator,
     before: CircuitGraph,
     after: CircuitGraph,
     register: int,
+    report: OptimizationReport,
 ) -> bool | None:
     """Whether ``register``'s cone computes the same function in both
     states (``None`` when the check itself fails -- the diagnostic and
-    the gate must never sink the search)."""
+    the gate must never sink the search).  Suppressed failures are
+    counted on ``report.cone_check_failures`` so diagnostic breakage is
+    visible instead of silently reading as "unknown"."""
     try:
         return (
             evaluator.signature(before, register).words
             == evaluator.signature(after, register).words
         )
-    except Exception:
+    except _CONE_CHECK_ERRORS:
+        report.cone_check_failures += 1
         return None
 
 
@@ -415,7 +435,8 @@ def random_search_registers(
                     # whose cone function changed (or cannot be checked)
                     # are not committed.
                     preserved = _cone_function_preserved(
-                        evaluator, current, best_graph, cone.register
+                        evaluator, current, best_graph,
+                        cone.register, report,
                     )
                     if preserved is not True:
                         rejected = True

@@ -1,0 +1,52 @@
+"""Generation-as-a-service: async job server over the typed requests.
+
+The package splits along the gridworks proactor shape: a persistent
+:class:`JobQueue` ledger, a multi-process :class:`WorkerPool` sharing
+the content-addressed artifact store, the asyncio
+:class:`ReproServer` front end (HTTP + websocket push), the
+:class:`ServeClient` session-style helpers, and the ``repro top`` live
+console.  All wire shapes are the typed messages of
+:mod:`repro.serve.protocol`.
+"""
+
+from .client import ServeClient, ServeError
+from .protocol import (
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    Job,
+    JobDone,
+    JobFailed,
+    JobProgress,
+    JobStarted,
+    WorkerReady,
+    parse_event,
+    request_key,
+)
+from .queue import JobQueue
+from .server import ReproServer
+from .top import render_frame, run_top
+from .workers import WorkerPool
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "Job",
+    "JobDone",
+    "JobFailed",
+    "JobProgress",
+    "JobStarted",
+    "JobQueue",
+    "ReproServer",
+    "ServeClient",
+    "ServeError",
+    "WorkerPool",
+    "WorkerReady",
+    "parse_event",
+    "render_frame",
+    "request_key",
+    "run_top",
+]

@@ -1,0 +1,196 @@
+"""Session-level client helpers for a running ``repro serve``.
+
+:class:`ServeClient` mirrors the :class:`~repro.api.Session` generation
+surface over the wire: :meth:`generate` submits a
+:class:`~repro.api.GenerateRequest` and blocks until the typed
+:class:`~repro.api.GenerateResult` comes back (served from the artifact
+cache when the server has seen the identical request), and
+:meth:`stream` yields the job's typed progress events from the
+websocket push channel.  Stdlib only (``http.client`` + a minimal
+RFC 6455 websocket reader).
+
+    from repro.serve import ServeClient
+    from repro.api import GenerateRequest
+
+    client = ServeClient("http://127.0.0.1:8760")
+    result = client.generate(GenerateRequest(count=4, nodes=(40, 60)))
+"""
+
+from __future__ import annotations
+
+import base64
+import http.client
+import json
+import os
+import socket
+import time
+from typing import Iterator
+from urllib.parse import urlparse
+
+from ..api import GenerateRequest, GenerateResult
+from .protocol import DONE, FAILED, TERMINAL_EVENTS
+
+
+class ServeError(RuntimeError):
+    """A server-side error response (4xx/5xx or failed job)."""
+
+
+class ServeClient:
+    """Blocking client over the ``repro serve`` HTTP + websocket API."""
+
+    def __init__(self, url: str = "http://127.0.0.1:8760",
+                 timeout: float = 60.0):
+        parsed = urlparse(url if "//" in url else f"http://{url}")
+        self.host = parsed.hostname or "127.0.0.1"
+        self.port = parsed.port or 8760
+        self.timeout = timeout
+
+    # -- plumbing --------------------------------------------------------
+    def _call(self, method: str, path: str, payload: dict | None = None):
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            body = None if payload is None else json.dumps(payload)
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            response = conn.getresponse()
+            data = json.loads(response.read().decode() or "{}")
+            if response.status >= 400:
+                raise ServeError(
+                    f"{method} {path} -> {response.status}: "
+                    f"{data.get('error', data)}"
+                )
+            return data
+        finally:
+            conn.close()
+
+    # -- REST surface ----------------------------------------------------
+    def healthy(self) -> bool:
+        try:
+            return bool(self._call("GET", "/healthz").get("ok"))
+        except (OSError, ServeError):
+            return False
+
+    def stats(self) -> dict:
+        return self._call("GET", "/stats")
+
+    def jobs(self) -> list[dict]:
+        return self._call("GET", "/jobs")["jobs"]
+
+    def submit(self, request: GenerateRequest | dict,
+               dedupe: bool = True) -> dict:
+        """Submit a request; returns the acceptance payload
+        (``job_id`` / ``state`` / ``deduplicated`` / ``result_key``)."""
+        payload = (
+            request.to_dict() if isinstance(request, GenerateRequest)
+            else dict(request)
+        )
+        return self._call(
+            "POST", "/jobs", {"request": payload, "dedupe": dedupe}
+        )
+
+    def status(self, job_id: str) -> dict:
+        return self._call("GET", f"/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 600.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            status = self.status(job_id)
+            if status["state"] in (DONE, FAILED):
+                return status
+            if time.monotonic() > deadline:
+                raise TimeoutError(f"job {job_id} still {status['state']} "
+                                   f"after {timeout:.0f}s")
+            time.sleep(poll)
+
+    def result(self, job_id: str) -> GenerateResult:
+        """The finished job's typed result (raises on a failed job)."""
+        return GenerateResult.from_dict(
+            self._call("GET", f"/jobs/{job_id}/result")
+        )
+
+    def generate(self, request: GenerateRequest | dict,
+                 dedupe: bool = True,
+                 timeout: float = 600.0) -> GenerateResult:
+        """Session-style one-call generation: submit, wait, fetch."""
+        accepted = self.submit(request, dedupe=dedupe)
+        status = self.wait(accepted["job_id"], timeout=timeout)
+        if status["state"] == FAILED:
+            raise ServeError(
+                f"job {accepted['job_id']} failed: {status.get('error')}"
+            )
+        return self.result(accepted["job_id"])
+
+    def shutdown(self) -> dict:
+        return self._call("POST", "/shutdown")
+
+    # -- websocket streaming ---------------------------------------------
+    def stream(self, job_id: str,
+               timeout: float = 600.0) -> Iterator[dict]:
+        """Yield the job's event frames (``status`` / ``progress`` /
+        ``done`` / ``failed``) until the terminal one."""
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=timeout
+        )
+        try:
+            key = base64.b64encode(os.urandom(16)).decode()
+            sock.sendall((
+                f"GET /jobs/{job_id}/stream HTTP/1.1\r\n"
+                f"Host: {self.host}:{self.port}\r\n"
+                "Upgrade: websocket\r\n"
+                "Connection: Upgrade\r\n"
+                f"Sec-WebSocket-Key: {key}\r\n"
+                "Sec-WebSocket-Version: 13\r\n\r\n"
+            ).encode())
+            # Buffered reader: the 101 response and the first frames can
+            # arrive in one TCP segment, so chunked recv() past the
+            # header terminator would silently drop frame bytes.
+            reader = sock.makefile("rb")
+            try:
+                status_line = reader.readline().decode("latin1").rstrip()
+                if " 101 " not in f"{status_line} ":
+                    raise ServeError(
+                        f"websocket upgrade refused: {status_line}"
+                    )
+                while reader.readline() not in (b"\r\n", b""):
+                    pass  # drain the response headers
+                while True:
+                    frame = self._read_frame(reader)
+                    if frame is None:  # close frame / connection end
+                        return
+                    event = json.loads(frame.decode())
+                    yield event
+                    if event.get("type") in TERMINAL_EVENTS:
+                        return
+            finally:
+                reader.close()
+        finally:
+            sock.close()
+
+    @staticmethod
+    def _read_exact(reader, n: int) -> bytes:
+        data = reader.read(n)
+        if data is None or len(data) < n:
+            raise ServeError("connection closed mid-frame")
+        return data
+
+    @classmethod
+    def _read_frame(cls, reader) -> bytes | None:
+        """One server frame's payload; ``None`` on close."""
+        try:
+            header = cls._read_exact(reader, 2)
+        except ServeError:
+            return None
+        opcode = header[0] & 0x0F
+        length = header[1] & 0x7F
+        if length == 126:
+            length = int.from_bytes(cls._read_exact(reader, 2), "big")
+        elif length == 127:
+            length = int.from_bytes(cls._read_exact(reader, 8), "big")
+        payload = cls._read_exact(reader, length) if length else b""
+        if opcode == 0x8:  # close
+            return None
+        return payload

@@ -1,0 +1,164 @@
+"""Persistent on-disk job queue.
+
+One JSON file per job (``job-<seq>-<id>.json``), written atomically
+(same-directory temp file + fsync + ``os.replace``) on every state
+transition, so a killed server never leaves a half-written record.  On
+restart :meth:`JobQueue.load` rehydrates every job; entries that were
+``queued`` or ``running`` at kill time are reset to ``queued`` and
+returned in original submit order for replay -- re-running them is safe
+because job artifacts are content-addressed and generation is
+deterministic in the request seed, so a replayed job writes the same
+bytes the interrupted run would have.
+
+Only the server process touches the queue directory; workers report
+progress over the :class:`~repro.serve.workers.WorkerPool` event
+channel and never write job files.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from .protocol import DONE, FAILED, QUEUED, RUNNING, Job, new_job_id
+
+
+def _write_atomic(path: pathlib.Path, payload: dict) -> None:
+    """Durably install ``payload`` as JSON at ``path``."""
+    fd, tmp = tempfile.mkstemp(dir=path.parent, prefix=path.stem,
+                               suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
+
+
+class JobQueue:
+    """Crash-safe job ledger: every transition is one atomic file write."""
+
+    def __init__(self, root: str | os.PathLike):
+        self.root = pathlib.Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._jobs: dict[str, Job] = {}
+        self._seq = 0
+
+    # -- persistence -----------------------------------------------------
+    def _path(self, job: Job) -> pathlib.Path:
+        return self.root / f"job-{job.seq:08d}-{job.job_id}.json"
+
+    def persist(self, job: Job) -> None:
+        _write_atomic(self._path(job), job.to_dict())
+
+    def load(self) -> list[Job]:
+        """Rehydrate the ledger; returns replayable jobs in submit order.
+
+        Jobs found ``queued`` or ``running`` are reset to ``queued``
+        (their progress counters cleared) -- a ``running`` entry means
+        the previous server died mid-job, and determinism makes
+        re-running it equivalent to having let it finish.
+        """
+        self._jobs.clear()
+        replay: list[Job] = []
+        for path in sorted(self.root.glob("job-*.json")):
+            try:
+                job = Job.from_dict(json.loads(path.read_text()))
+            except (ValueError, KeyError):
+                # A file from a mid-write crash of a pre-atomic version,
+                # or foreign junk: skip rather than wedge the boot.
+                continue
+            if job.state in (QUEUED, RUNNING):
+                job.state = QUEUED
+                job.started_at = None
+                job.worker = None
+                job.records_done = 0
+                self.persist(job)
+                replay.append(job)
+            self._jobs[job.job_id] = job
+            self._seq = max(self._seq, job.seq + 1)
+        replay.sort(key=lambda j: j.seq)
+        return replay
+
+    # -- submission and transitions --------------------------------------
+    def submit(self, request: dict, result_key: str, *,
+               state: str = QUEUED, from_cache: bool = False) -> Job:
+        job = Job(
+            job_id=new_job_id(),
+            seq=self._seq,
+            request=dict(request),
+            result_key=result_key,
+            state=state,
+            submitted_at=time.time(),
+            from_cache=from_cache,
+        )
+        if state == DONE:
+            job.finished_at = job.submitted_at
+        self._seq += 1
+        self._jobs[job.job_id] = job
+        self.persist(job)
+        return job
+
+    def mark_running(self, job_id: str, worker: int) -> Job | None:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        job.state = RUNNING
+        job.worker = worker
+        job.started_at = time.time()
+        self.persist(job)
+        return job
+
+    def mark_progress(self, job_id: str, records_done: int) -> Job | None:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        job.records_done = records_done
+        self.persist(job)
+        return job
+
+    def mark_done(self, job_id: str) -> Job | None:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        job.state = DONE
+        job.records_done = job.count
+        job.finished_at = time.time()
+        self.persist(job)
+        return job
+
+    def mark_failed(self, job_id: str, error: str) -> Job | None:
+        job = self._jobs.get(job_id)
+        if job is None:
+            return None
+        job.state = FAILED
+        job.error = error
+        job.finished_at = time.time()
+        self.persist(job)
+        return job
+
+    # -- queries ---------------------------------------------------------
+    def get(self, job_id: str) -> Job | None:
+        return self._jobs.get(job_id)
+
+    def jobs(self) -> list[Job]:
+        """All known jobs in submit order."""
+        return sorted(self._jobs.values(), key=lambda j: j.seq)
+
+    def depth(self) -> int:
+        """Jobs waiting for (or on) a worker."""
+        return sum(
+            1 for j in self._jobs.values() if j.state in (QUEUED, RUNNING)
+        )
+
+    def counts(self) -> dict[str, int]:
+        counts = {state: 0 for state in (QUEUED, RUNNING, DONE, FAILED)}
+        for job in self._jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts

@@ -1,0 +1,447 @@
+"""`repro serve`: the asyncio generation-as-a-service front end.
+
+Stdlib-only HTTP/1.1 + websocket server over the typed-request
+substrate:
+
+* ``POST /jobs``            -- submit a :class:`~repro.api.GenerateRequest`
+  (JSON body; optionally ``{"request": {...}, "dedupe": false}``).
+  Identical requests (config + request payload, minus ``workers``) are
+  **deduplicated**: an in-flight twin returns the existing job id, a
+  completed twin is served from the content-addressed artifact store --
+  in both cases without dispatching a worker.
+* ``GET /jobs``             -- job listing (summaries, submit order).
+* ``GET /jobs/<id>``        -- full job record.
+* ``GET /jobs/<id>/result`` -- the finished ``GenerateResult`` JSON.
+* ``GET /jobs/<id>/stream`` -- websocket: status frame, then one
+  ``progress`` frame per generated circuit (with per-phase timings from
+  :class:`~repro.api.GenerationRecord`), then a terminal ``done`` /
+  ``failed`` frame.  Late subscribers get the full event history first.
+* ``GET /stats``, ``GET /healthz``, ``POST /shutdown``.
+
+Work runs on a multi-process :class:`~repro.serve.workers.WorkerPool`
+over a persistent :class:`~repro.serve.queue.JobQueue`; on boot, jobs
+the previous server life left ``queued``/``running`` are replayed.
+Determinism contract: artifacts depend only on (scenario config,
+request) -- never on pool size, dispatch order, or replay -- so a
+4-process pool, a restart, and sequential in-process
+:meth:`~repro.api.Session.generate` all produce bit-identical graphs.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import base64
+import hashlib
+import json
+import threading
+import time
+
+from .protocol import (
+    DONE,
+    FAILED,
+    TERMINAL_EVENTS,
+    Job,
+    JobDone,
+    JobFailed,
+    JobProgress,
+    JobStarted,
+    WorkerReady,
+    parse_event,
+    request_key,
+)
+from .queue import JobQueue
+from .workers import WorkerPool
+
+_WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            409: "Conflict", 500: "Internal Server Error"}
+
+
+def _ws_accept(key: str) -> str:
+    digest = hashlib.sha1((key + _WS_GUID).encode()).digest()
+    return base64.b64encode(digest).decode()
+
+
+def _ws_text_frame(payload: bytes) -> bytes:
+    """One unmasked server->client text frame (FIN set)."""
+    header = bytearray([0x81])
+    n = len(payload)
+    if n < 126:
+        header.append(n)
+    elif n < 1 << 16:
+        header.append(126)
+        header += n.to_bytes(2, "big")
+    else:
+        header.append(127)
+        header += n.to_bytes(8, "big")
+    return bytes(header) + payload
+
+
+_WS_CLOSE_FRAME = bytes([0x88, 0x00])
+
+
+def _http_response(status: int, payload: dict) -> bytes:
+    body = json.dumps(payload).encode()
+    head = (
+        f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n\r\n"
+    ).encode()
+    return head + body
+
+
+async def _read_http_request(reader: asyncio.StreamReader):
+    """Parse one request: (method, path, headers, body)."""
+    blob = await asyncio.wait_for(reader.readuntil(b"\r\n\r\n"), timeout=30)
+    lines = blob.decode("latin1").split("\r\n")
+    method, path, _ = lines[0].split(" ", 2)
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if ":" in line:
+            name, value = line.split(":", 1)
+            headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", "0") or 0)
+    body = await reader.readexactly(length) if length else b""
+    return method.upper(), path, headers, body
+
+
+class ReproServer:
+    """The service: queue + worker pool + asyncio HTTP/websocket loop."""
+
+    def __init__(
+        self,
+        *,
+        config=None,
+        preset: str = "smoke",
+        seed: int | None = None,
+        workers: int = 2,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        cache_dir=None,
+        queue_dir=None,
+    ):
+        from ..api import ArtifactStore
+        from ..api.presets import resolve_preset
+
+        self.config = config if config is not None else resolve_preset(
+            preset, seed=seed
+        )
+        self._config_payload = self.config.to_dict()
+        self.store = ArtifactStore(cache_dir)
+        self.queue = JobQueue(queue_dir or (self.store.root / "serve-queue"))
+        # Workers share the server's exact store location even when it
+        # came from $REPRO_CACHE_DIR -- content-addressing does the rest.
+        self.pool = WorkerPool(
+            self._config_payload,
+            cache_dir=str(self.store.root),
+            workers=workers,
+        )
+        self.host = host
+        self.port = port
+        self.dedup_hits = 0
+        self.workers_ready = 0
+        self._by_key: dict[str, str] = {}
+        self._history: dict[str, list[dict]] = {}
+        self._subscribers: dict[str, list[asyncio.Queue]] = {}
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._shutdown: asyncio.Event | None = None
+        self._thread: threading.Thread | None = None
+        self._pump: threading.Thread | None = None
+        self._closing = False
+        self._started_at = time.time()
+
+    # -- lifecycle -------------------------------------------------------
+    async def run(self, ready: threading.Event | None = None) -> None:
+        """Serve until ``/shutdown`` (or :meth:`stop`) fires."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown = asyncio.Event()
+        replay = self.queue.load()
+        for job in self.queue.jobs():
+            if job.state != FAILED:
+                self._by_key.setdefault(job.result_key, job.job_id)
+        self.pool.start()
+        for job in replay:
+            self.pool.dispatch(job.job_id, job.request, job.result_key)
+        self._pump = threading.Thread(
+            target=self._pump_events, daemon=True, name="repro-serve-pump"
+        )
+        self._pump.start()
+        server = await asyncio.start_server(
+            self._handle_conn, self.host, self.port
+        )
+        self.port = server.sockets[0].getsockname()[1]
+        if ready is not None:
+            ready.set()
+        try:
+            async with server:
+                await self._shutdown.wait()
+        finally:
+            self._closing = True
+            self.pool.stop()
+
+    def start_background(self, timeout: float = 180.0) -> "ReproServer":
+        """Boot on a daemon thread; returns once the port is bound."""
+        ready = threading.Event()
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self.run(ready=ready)),
+            daemon=True,
+            name="repro-serve",
+        )
+        self._thread.start()
+        if not ready.wait(timeout):
+            raise RuntimeError("server failed to start within timeout")
+        return self
+
+    def stop(self, timeout: float = 30.0) -> None:
+        """Clean shutdown: stop accepting, drain workers, join."""
+        if self._loop is not None and self._shutdown is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+            self._thread = None
+
+    def kill(self) -> None:
+        """Crash simulation for tests: terminate workers mid-job and
+        stop the loop *without* letting in-flight jobs reach a terminal
+        state -- the persisted ledger keeps them ``running``/``queued``
+        for the next boot's replay."""
+        self._closing = True
+        for proc in list(self.pool._procs):
+            proc.terminate()
+        if self._loop is not None and self._shutdown is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._shutdown.set)
+            except RuntimeError:
+                pass
+        if self._thread is not None:
+            self._thread.join(timeout=15.0)
+            self._thread = None
+
+    # -- worker events ---------------------------------------------------
+    def _pump_events(self) -> None:
+        """Bridge the multiprocessing event channel onto the loop."""
+        while not self._closing:
+            event = self.pool.poll_event(timeout=0.2)
+            if event is None:
+                continue
+            try:
+                assert self._loop is not None
+                self._loop.call_soon_threadsafe(self._on_event, event)
+            except RuntimeError:
+                break  # loop closed while shutting down
+
+    def _on_event(self, data: dict) -> None:
+        event = parse_event(data)
+        if isinstance(event, WorkerReady):
+            self.workers_ready += 1
+            return
+        if isinstance(event, JobStarted):
+            self.queue.mark_running(event.job_id, event.worker)
+        elif isinstance(event, JobProgress):
+            self.queue.mark_progress(event.job_id, event.index + 1)
+        elif isinstance(event, JobDone):
+            self.queue.mark_done(event.job_id)
+        elif isinstance(event, JobFailed):
+            self.queue.mark_failed(event.job_id, event.error)
+        job_id = data.get("job_id")
+        if job_id is None:
+            return
+        self._history.setdefault(job_id, []).append(data)
+        for sub in self._subscribers.get(job_id, []):
+            sub.put_nowait(data)
+
+    # -- submission ------------------------------------------------------
+    def submit(self, payload: dict) -> tuple[Job, bool]:
+        """Validate, deduplicate, and (if fresh) dispatch one request.
+
+        Returns ``(job, deduplicated)``.  Runs on the event loop thread,
+        so the check-then-register sequence is race-free.
+        """
+        from ..api import GenerateRequest
+
+        dedupe = True
+        raw = payload
+        if isinstance(payload, dict) and "request" in payload:
+            raw = payload["request"]
+            dedupe = bool(payload.get("dedupe", True))
+        # Round-trip through the dataclass: validates the payload and
+        # normalizes defaults so equivalent submits fingerprint equal.
+        request = GenerateRequest.from_dict(dict(raw)).to_dict()
+        key = request_key(self._config_payload, request)
+        if dedupe:
+            existing_id = self._by_key.get(key)
+            existing = (
+                self.queue.get(existing_id) if existing_id is not None
+                else None
+            )
+            if existing is not None and existing.state != FAILED:
+                self.dedup_hits += 1
+                return existing, True
+            if self.store.load_json(key) is not None:
+                # Completed in an earlier server life: answer from the
+                # artifact store, zero worker dispatch.
+                job = self.queue.submit(request, key, state=DONE,
+                                        from_cache=True)
+                self._by_key[key] = job.job_id
+                self.dedup_hits += 1
+                return job, True
+        job = self.queue.submit(request, key)
+        self._by_key[key] = job.job_id
+        self.pool.dispatch(job.job_id, job.request, job.result_key)
+        return job, False
+
+    def stats(self) -> dict:
+        from ..api.store import fingerprint
+
+        return {
+            "uptime": time.time() - self._started_at,
+            "config_fingerprint": fingerprint(self._config_payload)[:12],
+            "workers": self.pool.workers,
+            "workers_alive": self.pool.alive(),
+            "workers_ready": self.workers_ready,
+            "queue": self.queue.counts(),
+            "depth": self.queue.depth(),
+            "dispatched": self.pool.dispatched,
+            "dedup_hits": self.dedup_hits,
+            "store": {
+                "root": str(self.store.root),
+                "hits": self.store.hits,
+                "misses": self.store.misses,
+            },
+        }
+
+    # -- HTTP ------------------------------------------------------------
+    async def _handle_conn(self, reader, writer) -> None:
+        try:
+            try:
+                method, path, headers, body = await _read_http_request(reader)
+            except (asyncio.IncompleteReadError, asyncio.TimeoutError,
+                    ValueError):
+                return
+            if (headers.get("upgrade", "").lower() == "websocket"
+                    and path.startswith("/jobs/")
+                    and path.endswith("/stream")):
+                job_id = path[len("/jobs/"):-len("/stream")]
+                await self._handle_stream(job_id, headers, reader, writer)
+                return
+            status, payload = self._route(method, path, body)
+            writer.write(_http_response(status, payload))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _route(self, method: str, path: str, body: bytes):
+        if method == "GET" and path == "/healthz":
+            return 200, {"ok": True}
+        if method == "GET" and path == "/stats":
+            return 200, self.stats()
+        if method == "GET" and path == "/jobs":
+            return 200, {"jobs": [j.summary() for j in self.queue.jobs()]}
+        if method == "POST" and path == "/jobs":
+            try:
+                payload = json.loads(body.decode() or "{}")
+                job, deduplicated = self.submit(payload)
+            except (ValueError, TypeError, KeyError) as exc:
+                return 400, {"error": f"bad request: {exc}"}
+            return 200, {
+                "job_id": job.job_id,
+                "state": job.state,
+                "deduplicated": deduplicated,
+                "result_key": job.result_key,
+            }
+        if method == "POST" and path == "/shutdown":
+            # Let the response flush before the loop unwinds.
+            assert self._loop is not None and self._shutdown is not None
+            self._loop.call_later(0.05, self._shutdown.set)
+            return 200, {"ok": True, "shutting_down": True}
+        if path.startswith("/jobs/"):
+            rest = path[len("/jobs/"):]
+            if method == "GET" and rest.endswith("/result"):
+                job = self.queue.get(rest[:-len("/result")])
+                if job is None:
+                    return 404, {"error": "unknown job"}
+                if job.state == FAILED:
+                    return 409, {"error": job.error, "state": job.state}
+                if job.state != DONE:
+                    return 409, {"error": "job not finished",
+                                 "state": job.state}
+                result = self.store.load_json(job.result_key)
+                if result is None:
+                    return 500, {"error": "result artifact missing"}
+                return 200, result
+            if method == "GET":
+                job = self.queue.get(rest)
+                if job is None:
+                    return 404, {"error": "unknown job"}
+                return 200, job.to_dict()
+        return 404, {"error": f"no route {method} {path}"}
+
+    # -- websocket streaming ---------------------------------------------
+    async def _handle_stream(self, job_id, headers, reader, writer) -> None:
+        job = self.queue.get(job_id)
+        ws_key = headers.get("sec-websocket-key")
+        if job is None or not ws_key:
+            writer.write(_http_response(404, {"error": "unknown job"}))
+            await writer.drain()
+            return
+        writer.write((
+            "HTTP/1.1 101 Switching Protocols\r\n"
+            "Upgrade: websocket\r\n"
+            "Connection: Upgrade\r\n"
+            f"Sec-WebSocket-Accept: {_ws_accept(ws_key)}\r\n\r\n"
+        ).encode())
+        await writer.drain()
+
+        async def send(event: dict) -> None:
+            writer.write(_ws_text_frame(json.dumps(event).encode()))
+            await writer.drain()
+
+        # Snapshot + subscribe without an await in between: _on_event
+        # runs on this same loop, so no event can fall in the gap.
+        history = list(self._history.get(job_id, []))
+        sub: asyncio.Queue = asyncio.Queue()
+        self._subscribers.setdefault(job_id, []).append(sub)
+        try:
+            await send({"type": "status", **job.summary()})
+            terminal_seen = False
+            for event in history:
+                await send(event)
+                terminal_seen = event["type"] in TERMINAL_EVENTS
+                if terminal_seen:
+                    break
+            if not terminal_seen and job.state in (DONE, FAILED):
+                # Finished in an earlier server life (or from cache):
+                # there is no live history, synthesize the terminal frame.
+                if job.state == DONE:
+                    await send(JobDone(
+                        job_id=job.job_id,
+                        result_key=job.result_key,
+                        elapsed=job.elapsed or 0.0,
+                    ).to_dict())
+                else:
+                    await send(JobFailed(
+                        job_id=job.job_id, error=job.error or "unknown"
+                    ).to_dict())
+                terminal_seen = True
+            while not terminal_seen:
+                event = await asyncio.wait_for(sub.get(), timeout=600)
+                await send(event)
+                terminal_seen = event["type"] in TERMINAL_EVENTS
+            writer.write(_WS_CLOSE_FRAME)
+            await writer.drain()
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            pass  # client went away (or stalled job): drop the stream
+        finally:
+            subscribers = self._subscribers.get(job_id, [])
+            if sub in subscribers:
+                subscribers.remove(sub)

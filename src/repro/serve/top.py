@@ -1,0 +1,85 @@
+"""`repro top`: live status view of a running generation server.
+
+A dependency-free terminal dashboard (ANSI redraw, in the spirit of the
+gridworks admin console's DataTable view): one header block from
+``GET /stats``, one row per job from ``GET /jobs``, refreshed on an
+interval.  ``--once`` renders a single frame without clearing the
+screen -- the mode scripts and the CI smoke job use.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .client import ServeClient
+
+_CLEAR = "\x1b[2J\x1b[H"
+_STATE_GLYPHS = {"queued": "·", "running": ">", "done": "✓", "failed": "✗"}
+
+
+def render_frame(stats: dict, jobs: list[dict], max_rows: int = 30) -> str:
+    """Pure formatter: one dashboard frame from the two API payloads."""
+    queue = stats.get("queue", {})
+    lines = [
+        (
+            f"repro serve  up {stats.get('uptime', 0.0):7.1f}s   "
+            f"config {stats.get('config_fingerprint', '?')}   "
+            f"workers {stats.get('workers_ready', 0)}"
+            f"/{stats.get('workers', 0)} ready"
+        ),
+        (
+            f"jobs: {queue.get('queued', 0)} queued  "
+            f"{queue.get('running', 0)} running  "
+            f"{queue.get('done', 0)} done  "
+            f"{queue.get('failed', 0)} failed   "
+            f"dispatched {stats.get('dispatched', 0)}   "
+            f"dedup hits {stats.get('dedup_hits', 0)}"
+        ),
+        "",
+        f"  {'job':<14s}{'state':<9s}{'progress':<10s}{'seed':>6s}"
+        f"{'elapsed':>9s}  {'key':<14s}{'note':<s}",
+    ]
+    for job in jobs[-max_rows:]:
+        done = job.get("records_done", 0)
+        count = job.get("count", 1)
+        elapsed = job.get("elapsed")
+        note = ""
+        if job.get("from_cache"):
+            note = "cache hit"
+        elif job.get("error"):
+            note = str(job["error"]).splitlines()[0][:40]
+        lines.append(
+            f"{_STATE_GLYPHS.get(job['state'], '?')} "
+            f"{job['job_id']:<14s}{job['state']:<9s}"
+            f"{f'{done}/{count}':<10s}"
+            f"{str(job.get('seed', '-')):>6s}"
+            f"{'' if elapsed is None else f'{elapsed:8.2f}s':>9s}  "
+            f"{job.get('result_key', '')[:12]:<14s}{note}"
+        )
+    if not jobs:
+        lines.append("  (no jobs submitted yet)")
+    return "\n".join(lines)
+
+
+def run_top(
+    client: ServeClient,
+    interval: float = 1.0,
+    once: bool = False,
+    write: Callable[[str], None] = print,
+) -> int:
+    """Poll-and-redraw loop; returns an exit code."""
+    while True:
+        try:
+            stats = client.stats()
+            jobs = client.jobs()
+        except Exception as exc:  # noqa: BLE001 -- any transport failure
+            # reads as "server gone", which is a normal way to exit top.
+            write(f"repro top: server unreachable ({exc})")
+            return 1
+        frame = render_frame(stats, jobs)
+        if once:
+            write(frame)
+            return 0
+        write(_CLEAR + frame)
+        time.sleep(interval)
