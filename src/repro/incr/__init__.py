@@ -23,13 +23,14 @@ This package depends only on :mod:`repro.ir` and :mod:`repro.synth`;
 from .analysis import RedundancyAnalyzer, RedundancyReport, analyze_redundancy
 from .delta import DeltaNetlist, NodeArtifact, comb_topo_order
 from .queue import CandidateQueue, CandidateResult
-from .reward import IncrementalEval, IncrementalReward
+from .reward import DeltaOracle, IncrementalEval, IncrementalReward
 from .timing import IncrementalTiming
 
 __all__ = [
     "CandidateQueue",
     "CandidateResult",
     "DeltaNetlist",
+    "DeltaOracle",
     "IncrementalEval",
     "IncrementalReward",
     "IncrementalTiming",

@@ -19,6 +19,21 @@ bit-level recombination.  The MCTS driver therefore keeps the full
 (types, widths, masks, params, a near-topological evaluation order)
 once, so re-analyzing each of a search's candidate states -- same
 schema, different wiring -- costs one short fixpoint over the node list.
+
+With a baseline captured (:meth:`RedundancyAnalyzer.capture_baseline`,
+done at every :meth:`~repro.incr.reward.IncrementalReward.rebase`), the
+analyzer additionally runs a *dirty-cone* delta mode: starting from the
+base state's converged references, only the edit's affected cone -- the
+touched nodes from swap provenance plus everything their reference
+changes reach through fanout edges and duplicate-merge aliasing -- is
+re-run through the fixpoint rules; every other node keeps its converged
+value.  The delta mode is exact (bit-identical reports to the full
+fixpoint, enforced by the differential fuzz suite and the ``S007``
+sanitizer rule) because it falls back to the full pass whenever a
+precondition it cannot cheaply re-establish is violated: a register's
+reference moving, an edit reaching the justification cone of a
+constant-folded register (where fixpoints are not unique), or the
+worklist failing to settle within the round budget.
 """
 
 from __future__ import annotations
@@ -27,6 +42,7 @@ from collections.abc import Iterable
 from dataclasses import dataclass, field
 
 from ..ir import CircuitGraph, NodeType
+from ..lint.sanitize import current_sanitizer as _current_sanitizer
 from ..synth.elaborate import MUL_WIDTH_CAP as _MUL_WIDTH_CAP
 
 #: Node "value" references: ``("c", value)`` for a folded constant,
@@ -169,6 +185,92 @@ class RedundancyAnalyzer:
              v in self.static_rewired)
             for v in self.order
         ]
+        # --- delta-mode baseline (captured explicitly per rebase) ---
+        #: Delta-mode outcome counters; ``delta_fallbacks`` is broken
+        #: down by reason in ``fallback_reasons``.
+        self.delta_hits = 0
+        self.delta_fallbacks = 0
+        self.delta_divergences = 0
+        self.fallback_reasons: dict[str, int] = {}
+        self._b_graph: CircuitGraph | None = None
+        self._b_refs: list[Ref] = []
+        self._b_rewired: set[int] = set()
+        #: Converged dedup table: key -> the (unique) self-representative
+        #: node owning it in the baseline state.
+        self._b_owner: dict[tuple, int] = {}
+        #: Owner node -> its baseline dedup key (to detect a dirty owner
+        #: whose reference survives an edit but whose key moved).
+        self._b_key: dict[int, tuple] = {}
+        #: Representative -> baseline nodes whose reference names it
+        #: (dedup aliases and identity pass-throughs); these have no
+        #: graph edge to their representative, so reference changes must
+        #: wake them explicitly.
+        self._b_deps: dict[int, list[int]] = {}
+        #: Nodes inside the justification cone of a register whose
+        #: baseline reference folded or aliased.  Such folds can be
+        #: self-sustaining through the register feedback cycle, where
+        #: the fixpoint is not unique; edits reaching this set fall back
+        #: to the full pass.
+        self._b_guard: frozenset[int] = frozenset()
+
+    # ------------------------------------------------------------------
+    def capture_baseline(
+        self, graph: CircuitGraph, report: RedundancyReport
+    ) -> None:
+        """Snapshot ``report`` (a converged full analysis of ``graph``)
+        as the delta-mode baseline.
+
+        Derives the converged dedup ownership table, the alias
+        dependents map, and the folded-register guard set; subsequent
+        :meth:`analyze` calls with ``touched`` then re-run the fixpoint
+        only over the edit's affected cone.
+        """
+        refs = report.refs
+        parents = graph.filled_rows()
+        owner: dict[tuple, int] = {}
+        keys: dict[int, tuple] = {}
+        deps: dict[int, list[int]] = {}
+        widths = self.widths
+        folded_regs: list[int] = []
+        for v, code, _w, _mask, commutative_v, sig_v, _rw in (
+            self._order_static
+        ):
+            ref = refs[v]
+            if ref[0] == "n":
+                rep = ref[1]
+                if rep == v:
+                    canon = tuple([refs[p] for p in parents[v]])
+                    if commutative_v:
+                        canon = tuple(sorted(canon))
+                    key = (sig_v, canon)
+                    owner[key] = v
+                    keys[v] = key
+                else:
+                    deps.setdefault(rep, []).append(v)
+                    if code == _K_REG:
+                        folded_regs.append(v)
+            elif code == _K_REG:
+                folded_regs.append(v)
+        guard: set[int] = set()
+        if folded_regs:
+            # Everything a folded register's justification could rest
+            # on: its transitive fan-in through base edges (registers
+            # included -- justifications can thread through other
+            # folded registers).
+            stack = list(folded_regs)
+            while stack:
+                v = stack.pop()
+                if v in guard:
+                    continue
+                guard.add(v)
+                stack.extend(parents[v])
+        self._b_graph = graph
+        self._b_refs = list(refs)
+        self._b_rewired = set(report.rewired)
+        self._b_owner = owner
+        self._b_key = keys
+        self._b_deps = deps
+        self._b_guard = frozenset(guard)
 
     # ------------------------------------------------------------------
     def analyze(
@@ -180,17 +282,49 @@ class RedundancyAnalyzer:
         """Fixpoint constant/alias/duplicate/dead analysis of ``graph``.
 
         ``touched`` (optional) names the nodes whose parents differ from
-        the analyzer's construction graph.  When none of those edits
-        inverts the precomputed evaluation order, one round provably
-        converges for the combinational part and the stabilization
-        rounds are only run if a register's reference moved -- the hot
-        path for candidate states that differ from a search base by a
-        few swaps.
+        the analyzer's construction graph.  With a captured baseline the
+        analysis then runs in delta mode -- the fixpoint re-visits only
+        the affected cone and reuses converged baseline values
+        everywhere else, falling back to the full pass when a delta
+        precondition fails.  Without a baseline, ``touched`` still
+        enables the single-round convergence check of the full pass.
         """
         # Bulk read-only wiring snapshot: memoized on the graph (and for
         # copy-on-write views derived from the base's snapshot), so one
         # candidate evaluation no longer pays num_nodes method calls.
         parents = graph.filled_rows()
+        if touched is not None and self._b_graph is not None:
+            report = None
+            try:
+                report = self._delta_analyze(
+                    graph, parents, touched, max_rounds
+                )
+            except Exception:
+                # A delta-path bug must never sink the search: record
+                # the divergence, flip to the full path for good (the
+                # driver surfaces both via OptimizationReport).
+                self.delta_divergences += 1
+                self._b_graph = None
+            if report is not None:
+                self.delta_hits += 1
+                sanitizer = _current_sanitizer()
+                if sanitizer is not None:
+                    # S007: delta-mode report vs the full fixpoint.
+                    sanitizer.check_analysis(self, graph, touched, report)
+                return report
+        return self.full_analyze(graph, max_rounds=max_rounds,
+                                 touched=touched, parents=parents)
+
+    def full_analyze(
+        self,
+        graph: CircuitGraph,
+        max_rounds: int = 8,
+        touched: Iterable[int] | None = None,
+        parents: list[list[int]] | None = None,
+    ) -> RedundancyReport:
+        """The full (non-delta) fixpoint over every node."""
+        if parents is None:
+            parents = graph.filled_rows()
         refs = list(self.init_refs)
         rewired: set[int] = set(self.static_rewired)
         single_round_ok = touched is not None and self._order_valid(
@@ -200,6 +334,245 @@ class RedundancyAnalyzer:
             parents, refs, rewired, self._order_static, max_rounds,
             single_round_ok=single_round_ok,
         )
+        return self._report(parents, refs, rewired, rounds)
+
+    def _delta_fallback(self, reason: str) -> None:
+        self.delta_fallbacks += 1
+        self.fallback_reasons[reason] = (
+            self.fallback_reasons.get(reason, 0) + 1
+        )
+        return None
+
+    def _delta_analyze(
+        self,
+        graph: CircuitGraph,
+        parents: list[list[int]],
+        touched: Iterable[int],
+        max_rounds: int,
+    ) -> RedundancyReport | None:
+        """Dirty-cone fixpoint from the converged baseline.
+
+        Returns ``None`` (recording the reason) whenever a precondition
+        for bit-identity with the full pass cannot be re-established:
+
+        * a touched or woken node lies in the folded-register guard set
+          (register-feedback fixpoints are not unique there);
+        * a register's reference moves off its baseline value (the
+          register boundary must stay pinned for the combinational part
+          to have a unique grounded fixpoint);
+        * the worklist has not settled within ``max_rounds``.
+
+        Everything else mirrors the full pass exactly: the rule
+        dispatch is a copy of :meth:`_fixpoint`'s (the differential
+        fuzz suite pins the two against each other), and duplicate
+        merging resolves each key to the earliest-in-order claimant
+        among this round's dirty claimants and the still-clean baseline
+        owner.
+        """
+        pos = self._pos
+        guard = self._b_guard
+        dirty: set[int] = set()
+        for v in touched:
+            if v in guard:
+                return self._delta_fallback("folded_reg_cone")
+            if v in pos:
+                dirty.add(v)
+        b_refs = self._b_refs
+        refs = list(b_refs)
+        rewired = set(self._b_rewired)
+        if not dirty:
+            # Only IN/CONST/OUT rows changed: references are fixed
+            # there, but liveness still follows the new wiring.
+            return self._report(parents, refs, rewired, 0)
+        types, widths = self.types, self.widths
+        codes, masks = self.codes, self.masks
+        commutative, static_sig = self.commutative, self.static_sig
+        static_rewired = self.static_rewired
+        owner_by_key = self._b_owner
+        b_key = self._b_key
+        b_deps = self._b_deps
+        child_map: list[list[int]] | None = None
+        rounds = 0
+        converged = False
+        for rounds in range(1, max_rounds + 1):
+            changed = False
+            dirty_seen: dict[tuple, tuple[int, Ref]] = {}
+            pending: list[int] = []
+            for v in sorted(dirty, key=pos.__getitem__):
+                code = codes[v]
+                w = widths[v]
+                mask = masks[v]
+                commutative_v = commutative[v]
+                sig_v = static_sig[v]
+                pv = parents[v]
+                ref = None
+                rewire = v in static_rewired
+
+                if code == _K_REG:
+                    if pv:
+                        d = refs[pv[0]]
+                        if d[0] == "c":
+                            ref = ("c", d[1] & mask)
+                        elif d[1] == v:
+                            ref = ("c", 0)
+                elif code == _K_MUX:
+                    sel = refs[pv[0]]
+                    a = refs[pv[1]]
+                    b = refs[pv[2]]
+                    if sel[0] == "c":
+                        if a[0] == "c" and b[0] == "c":
+                            ref = ("c",
+                                   (a[1] if sel[1] != 0 else b[1]) & mask)
+                        else:
+                            ref = _trunc(a if sel[1] != 0 else b, w)
+                    elif a == b:
+                        ref = _trunc(a, w)
+                elif code == _K_UNARY:
+                    a = refs[pv[0]]
+                    if a[0] == "c":
+                        ref = ("c", self._fold(v, types[v], w,
+                                               [a[1]], None) & mask)
+                elif code == _K_WIRE:
+                    consts = [refs[p][1] for p in pv
+                              if refs[p][0] == "c"]
+                    if len(consts) == len(pv):
+                        pwidths = [widths[p] for p in pv]
+                        ref = ("c", self._fold(v, types[v], w,
+                                               consts, pwidths) & mask)
+                else:
+                    a = refs[pv[0]]
+                    b = refs[pv[1]]
+                    ca = a[1] if a[0] == "c" else None
+                    cb = b[1] if b[0] == "c" else None
+                    if ca is not None and cb is not None:
+                        pwidths = [widths[pv[0]], widths[pv[1]]]
+                        ref = ("c", self._fold(v, types[v], w,
+                                               [ca, cb], pwidths) & mask)
+                    elif code == _K_AND or code == _K_OR:
+                        absorbing = 0 if code == _K_AND else mask
+                        identity = mask ^ absorbing
+                        for c, other in ((ca, b), (cb, a)):
+                            if c is None:
+                                continue
+                            cw = c & mask
+                            if cw == absorbing:
+                                ref = ("c", absorbing)
+                                break
+                            if cw == identity:
+                                ref = _trunc(other, w)
+                                break
+                        if ref is None and a == b:
+                            ref = _trunc(a, w)
+                    elif code == _K_XOR:
+                        if a == b:
+                            ref = ("c", 0)
+                        elif ca is not None and (ca & mask) == 0:
+                            ref = _trunc(b, w)
+                        elif cb is not None and (cb & mask) == 0:
+                            ref = _trunc(a, w)
+                    elif code == _K_ADD:
+                        if ca is not None and (ca & mask) == 0:
+                            ref = _trunc(b, w)
+                        elif cb is not None and (cb & mask) == 0:
+                            ref = _trunc(a, w)
+                    elif code == _K_SUB:
+                        if a == b:
+                            ref = ("c", 0)
+                        elif cb is not None and (cb & mask) == 0:
+                            ref = _trunc(a, w)
+                    elif code == _K_EQ:
+                        if a == b:
+                            ref = ("c", 1)
+                    elif code == _K_LT:
+                        if a == b:
+                            ref = ("c", 0)
+                    elif code == _K_MUL:
+                        for c, other in ((ca, b), (cb, a)):
+                            if c is None:
+                                continue
+                            if c == 0:
+                                ref = ("c", 0)
+                                break
+                            if c == 1:
+                                ref = _trunc(other, w)
+                                break
+                    elif code == _K_SHIFT:
+                        if cb is not None:
+                            if cb == 0:
+                                ref = _trunc(a, w)
+                            else:
+                                rewire = True
+
+                if ref is None:
+                    ref = ("n", v, w)
+                    canon = tuple([refs[p] for p in pv])
+                    if commutative_v:
+                        canon = tuple(sorted(canon))
+                    key = (sig_v, canon)
+                    # Earliest-in-order claimant wins: dirty claimants
+                    # from this round vs the baseline owner (valid only
+                    # while it stayed clean -- dirty owners re-claim
+                    # through dirty_seen like everyone else).
+                    u = owner_by_key.get(key)
+                    best: tuple[int, Ref] | None = None
+                    if u is not None and u != v and u not in dirty:
+                        best = (pos[u], b_refs[u])
+                    d_claim = dirty_seen.get(key)
+                    if d_claim is not None and (
+                        best is None or d_claim[0] < best[0]
+                    ):
+                        best = d_claim
+                    if best is not None and best[0] < pos[v]:
+                        ref = _trunc(best[1], w)
+                    else:
+                        dirty_seen[key] = (pos[v], ref)
+                        if (u is not None and u != v and u not in dirty
+                                and pos[u] > pos[v]):
+                            # A later clean owner is displaced by this
+                            # claim; it must re-resolve to an alias.
+                            pending.append(u)
+                        old_key = b_key.get(v)
+                        if old_key is not None and old_key != key:
+                            # v still represents itself but under a new
+                            # key: baseline aliases keyed on the old one
+                            # must re-resolve even though v's reference
+                            # (their rule input) did not change.
+                            deps = b_deps.get(v)
+                            if deps:
+                                pending.extend(deps)
+
+                if refs[v] != ref:
+                    if code == _K_REG:
+                        # The register boundary must stay pinned to the
+                        # baseline for the delta pass to share the full
+                        # pass's (unique) grounded fixpoint.
+                        return self._delta_fallback("reg_ref_changed")
+                    refs[v] = ref
+                    changed = True
+                    if child_map is None:
+                        child_map = graph.child_map()
+                    pending.extend(child_map[v])
+                    deps = b_deps.get(v)
+                    if deps:
+                        pending.extend(deps)
+                if rewire != (v in rewired):
+                    changed = True
+                    if rewire:
+                        rewired.add(v)
+                    else:
+                        rewired.discard(v)
+            grew = False
+            for u in pending:
+                if u in guard:
+                    return self._delta_fallback("folded_reg_cone")
+                if u in pos and u not in dirty:
+                    dirty.add(u)
+                    grew = True
+            if not changed and not grew:
+                converged = True
+                break
+        if not converged:
+            return self._delta_fallback("no_convergence")
         return self._report(parents, refs, rewired, rounds)
 
     def _order_valid(

@@ -30,9 +30,12 @@ from dataclasses import dataclass
 
 from ..ir import CircuitGraph, NodeType
 from ..lint.sanitize import current_sanitizer
+from ..synth.elaborate import elaborate
 from ..synth.flow import synthesize
 from ..synth.library import DEFAULT_LIBRARY, CellLibrary
-from ..synth.timing import TimingReport
+from ..synth.netlist import Netlist
+from ..synth.passes import optimize as optimize_netlist
+from ..synth.timing import TimingReport, total_area
 from .analysis import RedundancyAnalyzer, RedundancyReport
 from .delta import DeltaNetlist
 from .timing import IncrementalTiming
@@ -97,13 +100,24 @@ class IncrementalReward:
         clock_period: float = 2.0,
         library: CellLibrary = DEFAULT_LIBRARY,
         strength: int = 1,
+        delta_analysis: bool = True,
     ):
         self.clock_period = clock_period
         self.library = library
         self.strength = strength
+        #: Route candidate scoring through the analyzer's dirty-cone
+        #: delta mode (baseline captured at each rebase).  ``False``
+        #: keeps the full-fixpoint reference path.
+        self.delta_analysis = delta_analysis
         self.calls = 0
         self.patches = 0
         self.rebases = 0
+        #: Delta-analysis outcomes accumulated across rebases (each
+        #: rebase builds a fresh analyzer; its counters are absorbed
+        #: here before it is replaced).
+        self.analysis_delta_hits = 0
+        self.analysis_fallbacks = 0
+        self.analysis_divergences = 0
         self.base_pcs: float | None = None
         self._base_graph: CircuitGraph | None = None
         self._base: DeltaNetlist | None = None
@@ -145,6 +159,7 @@ class IncrementalReward:
         # delta/timing diagnostics; the scoring path works entirely from
         # the per-node area memo, so it is built lazily.
         self._base = None
+        self._absorb_analysis_counters()
         self._analyzer = RedundancyAnalyzer(graph, share_from=self._analyzer)
         self._timing = None
         self.base_pcs = exact_pcs
@@ -169,8 +184,36 @@ class IncrementalReward:
             else:
                 base_area[node.id] = 0.0
         self._base_area = base_area
-        estimate = self._area_of(self._analyzer.analyze(graph))
+        base_report = self._analyzer.analyze(graph)
+        if self.delta_analysis:
+            # Anchor the analyzer's dirty-cone mode on this converged
+            # base state; candidate scoring then re-runs the fixpoint
+            # only over each edit's affected cone.
+            self._analyzer.capture_baseline(graph, base_report)
+        estimate = self._area_of(base_report)
         self._scale = exact_pcs * graph.num_nodes / estimate if estimate else 1.0
+
+    def _absorb_analysis_counters(self) -> None:
+        analyzer = self._analyzer
+        if analyzer is not None:
+            self.analysis_delta_hits += analyzer.delta_hits
+            self.analysis_fallbacks += analyzer.delta_fallbacks
+            self.analysis_divergences += analyzer.delta_divergences
+
+    def analysis_counters(self) -> tuple[int, int, int]:
+        """(delta hits, fallbacks, divergences) including the live
+        analyzer's tallies."""
+        analyzer = self._analyzer
+        extra = (
+            (analyzer.delta_hits, analyzer.delta_fallbacks,
+             analyzer.delta_divergences)
+            if analyzer is not None else (0, 0, 0)
+        )
+        return (
+            self.analysis_delta_hits + extra[0],
+            self.analysis_fallbacks + extra[1],
+            self.analysis_divergences + extra[2],
+        )
 
     # ------------------------------------------------------------------
     def _area_of(
@@ -293,6 +336,10 @@ class IncrementalReward:
         overrides = {
             v: self._rewired_area(graph, v) for v in touched if v in comb
         }
+        sanitizer = current_sanitizer()
+        if sanitizer is not None and overrides:
+            # S006: memo-served areas vs fresh single-node lowerings.
+            sanitizer.check_area_memo(self, graph, overrides)
         area = self._area_of(report, overrides)
         return self._scale * area / max(graph.num_nodes, 1)
 
@@ -333,3 +380,132 @@ class IncrementalReward:
             patched=len(delta.patched),
             timing=timing,
         )
+
+
+class DeltaOracle:
+    """Exact acceptance oracle rebuilt on the delta substrate.
+
+    Drop-in for :class:`~repro.mcts.reward.SynthesisReward` in the
+    acceptance role: instead of re-elaborating the whole candidate
+    design, the candidate's netlist is assembled as
+    ``base.apply_edit(...).materialize()`` against the incremental
+    engine's anchored base -- O(dirty cone) elaboration work -- and only
+    the gate-level optimizer runs at full scale.  Because ``_assemble``
+    reproduces the fresh-elaboration gate *sequence* (not merely the
+    gate population) and the optimizer is deterministic over that
+    sequence, the same order-faithful ``total_area`` fold the full
+    ``synthesize`` path uses makes the two paths' PCS values
+    bit-identical, not merely ulp-close (asserted continuously by the
+    differential fuzz tier).
+
+    Candidates whose lineage does not reach the engine's base (schema
+    change, severed provenance) fall back to a fresh
+    ``elaborate`` -- same optimizer, same area fold.  Any
+    unexpected exception on the delta path counts as a divergence and
+    flips ``delta_enabled`` off for the rest of the run, so a broken
+    shortcut degrades to the reference path instead of corrupting
+    acceptance decisions.
+    """
+
+    def __init__(
+        self,
+        engine: IncrementalReward,
+        library: CellLibrary = DEFAULT_LIBRARY,
+        strength: int = 1,
+    ):
+        self.engine = engine
+        self.library = library
+        self.strength = strength
+        #: Flipped off permanently (for this oracle) on the first
+        #: unexpected delta-path exception.
+        self.delta_enabled = True
+        self.calls = 0
+        self.delta_hits = 0
+        self.fallbacks = 0
+        self.divergences = 0
+
+    def counters(self) -> tuple[int, int, int]:
+        """(delta hits, fallbacks, divergences)."""
+        return (self.delta_hits, self.fallbacks, self.divergences)
+
+    # ------------------------------------------------------------------
+    def _materialized_delta(self, graph: CircuitGraph) -> Netlist | None:
+        """Candidate netlist via the engine's delta lineage, or ``None``
+        when the candidate is not patch-reachable from the base."""
+        engine = self.engine
+        base_graph = engine._base_graph
+        if base_graph is None:
+            return None
+        if graph is base_graph:
+            return self._assemble(engine._ensure_base_delta())
+        touched = engine._touched_vs_base(graph)
+        if touched is None:
+            return None
+        delta = engine._ensure_base_delta().apply_edit(graph, touched)
+        if delta.parent is None:
+            return None
+        return self._assemble(delta)
+
+    @staticmethod
+    def _assemble(delta: "DeltaNetlist") -> Netlist:
+        """``materialize()`` in fresh-elaboration gate order.
+
+        The optimizer's fixpoint is gate-*order*-sensitive inside
+        register feedback (which duplicate survives structural hashing,
+        whether a stuck-register fold is discovered), so node-id
+        concatenation can optimize to a different gate population than
+        the reference path.  Emitting the shared artifacts in exactly
+        the order ``elaborate`` would -- comb nodes in the elaborator's
+        topological order, then register DFFs, then outputs -- makes
+        the gate-kind sequence identical to a fresh elaboration (nets
+        differ only by a renumbering the passes are invariant to), so
+        the optimized gate *sequence* -- and with it the order-faithful
+        ``total_area`` fold -- bit-matches the reference path.
+        """
+        from ..synth.elaborate import _Elaborator
+
+        graph = delta.graph
+        artifacts = delta.artifacts
+        nl = Netlist(
+            name=delta.name,
+            num_nets=delta.num_nets,
+            const0=delta.const0,
+            const1=delta.const1,
+        )
+        gates = nl.gates
+        for v in sorted(artifacts):
+            nl.primary_inputs.extend(artifacts[v].pis)
+        for v in _Elaborator(graph)._comb_topo_order():
+            gates.extend(artifacts[v].gates)
+        for reg in graph.registers():
+            art = artifacts[reg]
+            gates.extend(art.gates)
+            for b, q in enumerate(art.bits):
+                nl.dff_origin[q] = (reg, b)
+        for out in graph.outputs():
+            nl.primary_outputs.extend(artifacts[out].pos)
+        return nl
+
+    def __call__(
+        self, graph: CircuitGraph, cone: object = None
+    ) -> float:
+        self.calls += 1
+        netlist: Netlist | None = None
+        if self.delta_enabled:
+            try:
+                netlist = self._materialized_delta(graph)
+            except Exception:
+                # A delta-path bug must never sink acceptance: record
+                # the divergence and run the reference path from here on.
+                self.divergences += 1
+                self.delta_enabled = False
+                netlist = None
+        if netlist is None:
+            self.fallbacks += 1
+            netlist = elaborate(graph, check=False)
+        else:
+            self.delta_hits += 1
+        optimized, _ = optimize_netlist(netlist, check=False)
+        area = total_area(optimized, self.library, self.strength)
+        nodes = graph.num_nodes
+        return area / nodes if nodes else 0.0

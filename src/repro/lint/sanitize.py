@@ -63,6 +63,12 @@ SANITIZER_RULES = tuple(register(Rule(
     ("S005", "patchable-simulator-coherence",
      "PatchableSimulator's re-linked plan must produce the packed "
      "output words of a fresh compile."),
+    ("S006", "area-memo-coherence",
+     "IncrementalReward's (node, operand-widths) area memo must match a "
+     "fresh single-node lowering of the candidate wiring."),
+    ("S007", "delta-analysis-coherence",
+     "RedundancyAnalyzer's dirty-cone delta report must match the full "
+     "fixpoint over every node."),
 ))
 
 
@@ -437,6 +443,76 @@ class Sanitizer:
                 "patched simulator plan computes different packed output "
                 f"words than a fresh compile (outputs {bad[:8]} differ)",
                 **prov,
+            )
+
+    # -- S006 ------------------------------------------------------------
+    def check_area_memo(
+        self,
+        engine: Any,
+        graph: "CircuitGraph",
+        overrides: dict[int, float],
+    ) -> None:
+        """S006: memo-served per-node areas equal a fresh single-node
+        lowering of the candidate wiring (same float fold)."""
+        if not self.wants("S006"):
+            return
+        self.checks_run += 1
+        from ..incr.reward import _AreaScratch
+        from ..synth.elaborate import _Elaborator
+
+        widths = engine._node_widths
+        library, strength = engine.library, engine.strength
+        for v, served in overrides.items():
+            scratch = _AreaScratch()
+            parents = graph.filled_parents(v)
+            bits = {p: list(range(2, 2 + widths[p])) for p in parents}
+            _Elaborator(graph, netlist=scratch, bits=bits)._lower_comb(v)
+            fresh = sum(
+                library.cell(kind, strength).area for kind in scratch.kinds
+            )
+            if fresh != served:
+                self._fail(
+                    "S006",
+                    f"area memo serves {served!r} for node {v} where a "
+                    f"fresh lowering of its candidate wiring folds to "
+                    f"{fresh!r}",
+                    nodes=[v], **_graph_provenance(graph),
+                )
+
+    # -- S007 ------------------------------------------------------------
+    def check_analysis(
+        self,
+        analyzer: Any,
+        graph: "CircuitGraph",
+        touched: Iterable[int],
+        report: Any,
+    ) -> None:
+        """S007: the dirty-cone delta report equals the full fixpoint."""
+        if not self.wants("S007"):
+            return
+        self.checks_run += 1
+        reference = analyzer.full_analyze(graph)
+        mismatches: list[str] = []
+        if report.refs != reference.refs:
+            mismatches.append("refs")
+        if report.kept != reference.kept:
+            mismatches.append("kept")
+        if report.rewired != reference.rewired:
+            mismatches.append("rewired")
+        if report.live != reference.live:
+            mismatches.append("live")
+        if mismatches:
+            bad = sorted(
+                v for v, (a, b) in enumerate(zip(report.refs, reference.refs))
+                if a != b
+            )
+            prov = _graph_provenance(graph)
+            prov["touched"] = sorted(touched)
+            self._fail(
+                "S007",
+                "delta-mode redundancy report diverges from the full "
+                f"fixpoint in {', '.join(mismatches)}",
+                nodes=bad[:16], **prov,
             )
 
 

@@ -46,6 +46,20 @@ class MCTSConfig:
     cone's best state is only committed if the *true* post-synthesis PCS
     improved.
 
+    ``delta_analysis`` routes the incremental reward's redundancy
+    fixpoint through the analyzer's dirty-cone delta mode (baseline
+    captured at each rebase, re-converged only over the edit's affected
+    cone).  ``delta_oracle`` rebuilds the acceptance oracle on the delta
+    substrate (:class:`~repro.incr.DeltaOracle`): candidate netlists are
+    materialized from the engine's delta lineage instead of a fresh
+    re-elaboration, then optimized and scored with a canonical area
+    fold.  Both shortcuts are continuously cross-checked by the
+    differential fuzz tier, fall back to the full path whenever their
+    preconditions fail, and record any divergence in
+    :class:`OptimizationReport`; either flag restores the reference
+    path wholesale.  Both apply only when the incremental engine is in
+    play (``incremental=True``, no explicit ``reward_fn``).
+
     ``cache_rewards`` memoizes reward evaluations on a structural
     fingerprint per cone search (:class:`~repro.mcts.reward.CachedReward`).
     Swaps are self-inverse, so deep searches revisit states; the cache
@@ -83,6 +97,8 @@ class MCTSConfig:
     clock_period: float = 2.0
     incremental: bool = True
     verify_with_synthesis: bool = True
+    delta_analysis: bool = True
+    delta_oracle: bool = True
     cache_rewards: bool = True
     track_cone_function: bool = True
     require_functional_equivalence: bool = False
@@ -109,6 +125,20 @@ class OptimizationReport:
     reward_rebases: int = 0
     #: Improved cone states rejected by the functional-equivalence gate.
     equivalence_rejections: int = 0
+    #: Dirty-cone redundancy-analysis outcomes (delta-mode analyze calls
+    #: that reused the baseline / fell back to the full fixpoint / hit an
+    #: unexpected exception and disabled the shortcut).  All zero when
+    #: ``delta_analysis`` is off or the incremental engine is not used.
+    analysis_delta_hits: int = 0
+    analysis_fallbacks: int = 0
+    analysis_divergences: int = 0
+    #: Delta-substrate oracle outcomes (candidates scored from a
+    #: materialized delta netlist / via fresh elaboration / divergences
+    #: that flipped the oracle to the reference path).  All zero when
+    #: ``delta_oracle`` is off or no oracle ran.
+    oracle_delta_hits: int = 0
+    oracle_fallbacks: int = 0
+    oracle_divergences: int = 0
     #: Invariant audits performed when the run was sanitized (0 = the
     #: sanitizer was off; a sanitized run with violations raises).
     sanitize_checks: int = 0
@@ -147,16 +177,26 @@ def _resolve_search_rewards(config: MCTSConfig, reward_fn: RewardFn | None):
     if config.incremental and reward_fn is None:
         from ..incr import IncrementalReward
 
-        incremental = IncrementalReward(clock_period=config.clock_period)
+        incremental = IncrementalReward(
+            clock_period=config.clock_period,
+            delta_analysis=config.delta_analysis,
+        )
         search_base = incremental
     oracle = None
     if config.verify_with_synthesis and not isinstance(
         search_base, SynthesisReward
     ):
-        oracle = (
-            exact_reward if isinstance(exact_reward, SynthesisReward)
-            else SynthesisReward(config.clock_period)
-        )
+        if incremental is not None and config.delta_oracle:
+            from ..incr import DeltaOracle
+
+            # Acceptance on the delta substrate: candidate netlists are
+            # materialized from the engine's lineage, not re-elaborated.
+            oracle = DeltaOracle(incremental)
+        else:
+            oracle = (
+                exact_reward if isinstance(exact_reward, SynthesisReward)
+                else SynthesisReward(config.clock_period)
+            )
     return search_base, incremental, oracle
 
 
@@ -310,6 +350,12 @@ def optimize_registers(
     if incremental is not None:
         report.reward_patches = incremental.patches
         report.reward_rebases = incremental.rebases
+        (report.analysis_delta_hits, report.analysis_fallbacks,
+         report.analysis_divergences) = incremental.analysis_counters()
+    oracle_counters = getattr(oracle, "counters", None)
+    if oracle_counters is not None:
+        (report.oracle_delta_hits, report.oracle_fallbacks,
+         report.oracle_divergences) = oracle_counters()
     # Search states are copy-on-write views; hand callers an independent
     # plain graph so the accepted design's lifetime is decoupled from
     # the search base and later mutations cannot alias other states.
@@ -467,6 +513,12 @@ def random_search_registers(
     if incremental is not None:
         report.reward_patches = incremental.patches
         report.reward_rebases = incremental.rebases
+        (report.analysis_delta_hits, report.analysis_fallbacks,
+         report.analysis_divergences) = incremental.analysis_counters()
+    oracle_counters = getattr(oracle, "counters", None)
+    if oracle_counters is not None:
+        (report.oracle_delta_hits, report.oracle_fallbacks,
+         report.oracle_divergences) = oracle_counters()
     if isinstance(current, GraphView):
         current = current.materialize()
     report.graph = current

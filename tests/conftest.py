@@ -1,6 +1,47 @@
-"""Shared fixtures for the test suite."""
+"""Shared fixtures and fuzz-tier wiring for the test suite."""
 
 import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--fuzz-rounds",
+        type=int,
+        default=0,
+        help=(
+            "Enable the opt-in fuzz_deep tier and scale its workload: "
+            "each deep test multiplies its seed count by this value "
+            "(0, the default, skips the tier entirely)."
+        ),
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "fuzz_smoke: fast seeded differential fuzz; runs in tier-1",
+    )
+    config.addinivalue_line(
+        "markers",
+        "fuzz_deep: long differential fuzz; opt-in via --fuzz-rounds N",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--fuzz-rounds") > 0:
+        return
+    skip_deep = pytest.mark.skip(
+        reason="deep fuzz tier is opt-in: run with --fuzz-rounds N"
+    )
+    for item in items:
+        if "fuzz_deep" in item.keywords:
+            item.add_marker(skip_deep)
+
+
+@pytest.fixture
+def fuzz_rounds(request):
+    """The --fuzz-rounds multiplier (>= 1 inside fuzz_deep tests)."""
+    return request.config.getoption("--fuzz-rounds")
 
 
 @pytest.fixture(autouse=True)

@@ -20,6 +20,7 @@ import time
 
 import numpy as np
 import pytest
+from fuzz_harness import packed_by_name, swap_chain
 
 from repro.bench_designs import load_design
 from repro.incr import (
@@ -30,51 +31,11 @@ from repro.incr import (
     analyze_redundancy,
 )
 from repro.ir import GraphBuilder, NodeType, validate
-from repro.mcts import (
-    MCTSConfig,
-    apply_swap,
-    optimize_registers,
-    sample_swaps,
-)
+from repro.mcts import MCTSConfig, optimize_registers
 from repro.synth import elaborate, synthesize
-from repro.synth.simulate import BitParallelSimulator
 from repro.synth.timing import analyze_timing, total_area
 
 CLOCK = 2.0
-
-
-def _swap_chain(graph, rng, steps, anchor=None):
-    """Successor states reached by ``steps`` random valid swaps."""
-    anchor = anchor if anchor is not None else list(range(graph.num_nodes))
-    states = []
-    state = graph
-    attempts = 0
-    while len(states) < steps and attempts < steps * 30:
-        attempts += 1
-        swaps = sample_swaps(state, anchor, rng, 1)
-        if not swaps:
-            break
-        successor = apply_swap(state, swaps[0])
-        if successor is not None:
-            state = successor
-            states.append(state)
-    return states
-
-
-def _packed_by_name(netlist, cycles=64):
-    """Name-keyed packed simulation (net ids differ across lowerings).
-
-    Stimulus words derive from ``packed_stimulus_word`` so a failing
-    fuzz case reproduces across processes (builtin ``hash`` is salted).
-    """
-    from repro.synth.simulate import packed_stimulus_word
-
-    simulator = BitParallelSimulator(netlist)
-    inputs = {
-        net: packed_stimulus_word(0, name, cycles)
-        for name, net in netlist.primary_inputs
-    }
-    return simulator.run_packed(inputs, cycles)
 
 
 def redundant_design():
@@ -101,7 +62,7 @@ class TestDeltaNetlist:
         timing = IncrementalTiming(base, CLOCK)
         rng = np.random.default_rng(7)
         delta = base
-        for step, state in enumerate(_swap_chain(graph, rng, 8)):
+        for step, state in enumerate(swap_chain(graph, rng, 8)):
             delta = delta.apply_edit(state)
             materialized = delta.materialize(check=True)
             fresh = elaborate(state, check=False)
@@ -113,7 +74,7 @@ class TestDeltaNetlist:
                     == [n for n, _ in fresh.primary_outputs])
             assert delta.total_area() == pytest.approx(total_area(fresh))
             # Function: bit-identical packed simulation.
-            assert _packed_by_name(materialized) == _packed_by_name(fresh)
+            assert packed_by_name(materialized) == packed_by_name(fresh)
             # Timing: bit-exact against the full pass.
             reference = analyze_timing(fresh, CLOCK)
             report = timing.update(delta)
@@ -129,18 +90,18 @@ class TestDeltaNetlist:
         base = DeltaNetlist.from_graph(graph)
         for seed in range(5):
             rng = np.random.default_rng(seed)
-            for state in _swap_chain(graph, rng, 3):
+            for state in swap_chain(graph, rng, 3):
                 delta = base.apply_edit(state)
                 fresh = elaborate(state, check=False)
                 materialized = delta.materialize(check=True)
                 assert materialized.gate_counts() == fresh.gate_counts()
-                assert _packed_by_name(materialized) == _packed_by_name(fresh)
+                assert packed_by_name(materialized) == packed_by_name(fresh)
 
     def test_structural_sharing_and_patch_locality(self):
         graph = load_design("uart_tx")
         base = DeltaNetlist.from_graph(graph)
         rng = np.random.default_rng(1)
-        state = _swap_chain(graph, rng, 1)[0]
+        state = swap_chain(graph, rng, 1)[0]
         delta = base.apply_edit(state)
         assert delta.parent is base
         assert delta.patched  # something was rebuilt ...
@@ -176,7 +137,7 @@ class TestDeltaNetlist:
         delta = base.apply_edit(edited, touched)
         materialized = delta.materialize(check=True)
         fresh = elaborate(edited, check=False)
-        assert _packed_by_name(materialized) == _packed_by_name(fresh)
+        assert packed_by_name(materialized) == packed_by_name(fresh)
 
     def test_identity_edit_shares_everything(self):
         graph = load_design("uart_tx")
@@ -253,7 +214,7 @@ class TestCandidateQueue:
     def test_flush_evaluates_in_order_with_shared_stimulus(self):
         graph = load_design("alu")
         rng = np.random.default_rng(3)
-        candidates = [graph, *_swap_chain(graph, rng, 6)]
+        candidates = [graph, *swap_chain(graph, rng, 6)]
         queue = CandidateQueue(graph, num_cycles=64, seed=0, clock_period=CLOCK)
         for candidate in candidates:
             queue.submit(candidate)
@@ -275,7 +236,7 @@ class TestCandidateQueue:
     def test_signature_detects_functional_change(self):
         graph = load_design("alu")
         rng = np.random.default_rng(4)
-        candidates = [graph, *_swap_chain(graph, rng, 8)]
+        candidates = [graph, *swap_chain(graph, rng, 8)]
         queue = CandidateQueue(graph, num_cycles=64, seed=1)
         signatures = {r.signature for r in queue.evaluate(candidates)}
         # Swaps rewire real logic; at least one candidate changed the
@@ -296,7 +257,7 @@ class TestCandidateQueue:
         area/timing/function identical to the one-shot flow."""
         graph = load_design("alu")
         rng = np.random.default_rng(5)
-        chain = _swap_chain(graph, rng, 8)
+        chain = swap_chain(graph, rng, 8)
         queue = CandidateQueue(graph, num_cycles=64, seed=0, clock_period=CLOCK)
         results = queue.evaluate(chain)
         assert queue.chained == len(chain)
@@ -308,7 +269,7 @@ class TestCandidateQueue:
             assert result.area == pytest.approx(total_area(fresh))
             reference = analyze_timing(fresh, CLOCK)
             assert result.timing.wns == reference.wns
-            assert result.output_words == _packed_by_name(fresh)
+            assert result.output_words == packed_by_name(fresh)
 
     def test_foreign_schema_candidate_does_not_abort_batch(self):
         graph = load_design("uart_tx")
@@ -338,7 +299,7 @@ class TestIncrementalReward:
         reward = IncrementalReward(clock_period=CLOCK)
         reward.rebase(graph)
         rng = np.random.default_rng(11)
-        candidates = _swap_chain(graph, rng, 10)
+        candidates = swap_chain(graph, rng, 10)
         estimates = [reward(c) for c in candidates]
         exact = [synthesize(c, clock_period=CLOCK, check=False).pcs
                  for c in candidates]
@@ -367,7 +328,7 @@ class TestIncrementalReward:
         reward = IncrementalReward(clock_period=CLOCK)
         reward.rebase(graph)
         rng = np.random.default_rng(2)
-        candidate = _swap_chain(graph, rng, 1)[0]
+        candidate = swap_chain(graph, rng, 1)[0]
         evaluation = reward.evaluate(candidate)
         assert evaluation.patched > 0
         assert evaluation.raw_area >= evaluation.surviving_area > 0
@@ -468,7 +429,7 @@ class TestIncrementalSearch:
 
         cone = driving_cone(graph, register)
         anchor = [cone.register, *cone.interior]
-        candidates = [graph, *_swap_chain(graph, rng, 8, anchor=anchor)]
+        candidates = [graph, *swap_chain(graph, rng, 8, anchor=anchor)]
         evaluator = ConeBatchEvaluator(num_cycles=64, seed=0)
         signatures = evaluator.evaluate(candidates, register)
         assert len(signatures) == len(candidates)
@@ -503,7 +464,7 @@ class TestIncrementalSpeed:
         # scale (max_depth=3).
         candidates = []
         for _ in range(6):
-            candidates.extend(_swap_chain(graph, rng, 3)[-2:])
+            candidates.extend(swap_chain(graph, rng, 3)[-2:])
         assert len(candidates) >= 6
         exact = SynthesisReward(clock_period=CLOCK)
         incremental = IncrementalReward(clock_period=CLOCK)

@@ -2,6 +2,7 @@
 
 import numpy as np
 import pytest
+from fuzz_harness import random_rewire
 
 from repro.ir import (
     ARITY,
@@ -167,24 +168,7 @@ class TestGraphView:
         assert view.to_dict() == reference.to_dict()
         assert view.structural_delta(reference) == []
 
-    def _random_rewire(self, state, reference, rng):
-        """One random slot rewrite applied to both representations."""
-        from repro.ir import GraphView
-
-        candidates = [
-            (child, slot)
-            for child in range(reference.num_nodes)
-            for slot, parent in enumerate(reference.parents(child))
-            if parent is not None
-        ]
-        child, slot = candidates[rng.integers(0, len(candidates))]
-        parent = int(rng.integers(0, reference.num_nodes))
-        view = GraphView(state)
-        view.set_parent(child, slot, parent)
-        ref = reference.copy()
-        ref.set_parent(child, slot, parent)
-        return view, ref
-
+    @pytest.mark.fuzz_smoke
     @pytest.mark.parametrize("seed", range(6))
     def test_view_chain_matches_copies(self, seed):
         from repro.bench_designs import load_design
@@ -198,7 +182,7 @@ class TestGraphView:
             if rng.random() < 0.5:
                 state.edge_list()
                 state.child_map()
-            state, reference = self._random_rewire(state, reference, rng)
+            state, reference = random_rewire(state, reference, rng)
             self._assert_same(state, reference)
         # The base graph itself must be untouched by the whole chain.
         assert base.structural_delta(load_design("uart_tx")) == []

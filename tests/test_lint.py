@@ -346,6 +346,59 @@ class TestSanitizerInjection:
             sanitizer.check_simulator(base, words, 32, tampered)
         assert exc.value.diagnostic.rule == "S005"
 
+    def test_s006_corrupted_area_memo(self):
+        from repro.incr import IncrementalReward
+
+        g, ids = _clean_graph()
+        engine = IncrementalReward(clock_period=2.0)
+        engine.rebase(g)
+        # Candidate wiring with overlay provenance: swap the SUB
+        # operands (a - c  ->  c - a).
+        view = GraphView(g)
+        view.set_parent(ids["s"], 0, ids["c"])
+        view.set_parent(ids["s"], 1, ids["a"])
+        overrides = {ids["s"]: engine._rewired_area(view, ids["s"])}
+        sanitizer = Sanitizer()
+        sanitizer.check_area_memo(engine, view, overrides)  # honest: ok
+        # Corrupt the memo, then serve the candidate's area from it.
+        for key in engine._area_memo:
+            engine._area_memo[key] += 1.0
+        served = {ids["s"]: engine._rewired_area(view, ids["s"])}
+        with pytest.raises(InvariantViolation) as exc:
+            sanitizer.check_area_memo(engine, view, served)
+        assert exc.value.diagnostic.rule == "S006"
+        assert exc.value.diagnostic.nodes == [ids["s"]]
+        # The diagnostic names the candidate's edit provenance.
+        assert exc.value.diagnostic.provenance["overlay_nodes"] == [ids["s"]]
+
+    def test_s007_tampered_analysis_baseline(self):
+        from repro.incr.analysis import RedundancyAnalyzer
+
+        g, ids = _clean_graph()
+        analyzer = RedundancyAnalyzer(g)
+        analyzer.capture_baseline(g, analyzer.full_analyze(g))
+        view = GraphView(g)
+        view.set_parent(ids["s"], 0, ids["c"])
+        view.set_parent(ids["s"], 1, ids["a"])
+        touched = [ids["s"]]
+        with sanitizing(Sanitizer()):
+            analyzer.analyze(view, touched=touched)  # honest: ok
+        assert analyzer.delta_hits == 1 and analyzer.delta_divergences == 0
+        # Corrupt a converged baseline ref *outside* the dirty cone: the
+        # delta overlay reuses it verbatim, diverging from the full
+        # fixpoint the sanitizer re-runs.  (The OUT node, specifically:
+        # a corrupt ref *upstream* of a register trips the analyzer's
+        # own reg_ref_changed fallback and never reaches the report.)
+        out = g.outputs()[0]
+        analyzer._b_refs[out] = analyzer._b_refs[ids["r"]]
+        with pytest.raises(InvariantViolation) as exc:
+            with sanitizing(Sanitizer()):
+                analyzer.analyze(view, touched=touched)
+        assert exc.value.diagnostic.rule == "S007"
+        # The diagnostic carries the edit provenance the delta ran on.
+        assert exc.value.diagnostic.provenance["touched"] == touched
+        assert exc.value.diagnostic.provenance["overlay_nodes"] == [ids["s"]]
+
     def test_checks_subset_restricts_audits(self):
         g, ids = _clean_graph()
         sanitizer = Sanitizer(checks=["S001"])

@@ -1,18 +1,20 @@
 """Differential property tests: the bit-parallel simulator must be
 bit-identical to the scalar reference on random valid netlists.
 
-Hypothesis-style seeded fuzzing without the dependency: a deterministic
-generator draws random DAG-plus-feedback netlists (DFF-heavy, MUX-heavy,
-comb-only and mixed profiles), random stimulus with randomly *missing*
-inputs, and asserts both backends agree cycle for cycle.  The perf test
-at the bottom pins the acceptance criterion: >= 10x on a 64-cycle
-stimulus over the largest bench design.
+Hypothesis-style seeded fuzzing without the dependency: the shared
+harness (``fuzz_harness``) draws random DAG-plus-feedback netlists
+(DFF-heavy, MUX-heavy, comb-only and mixed profiles) and random
+stimulus with randomly *missing* inputs, and this module asserts both
+backends agree cycle for cycle.  The perf test at the bottom pins the
+acceptance criterion: >= 10x on a 64-cycle stimulus over the largest
+bench design.
 """
 
 import timeit
 
 import numpy as np
 import pytest
+from fuzz_harness import PROFILES, random_netlist, random_stimulus
 
 from repro.synth.netlist import Gate, Netlist
 from repro.synth.simulate import (
@@ -21,80 +23,9 @@ from repro.synth.simulate import (
     simulate,
 )
 
-#: (profile name, gate-kind weights) -- DFF/MUX-heavy graphs stress the
-#: feedback fixpoint and the 3-input opcode respectively.
-PROFILES = {
-    "mixed": {"NOT": 1, "AND": 2, "OR": 2, "XOR": 2, "MUX": 1, "DFF": 1},
-    "dff_heavy": {"NOT": 1, "AND": 1, "OR": 1, "XOR": 1, "MUX": 1, "DFF": 4},
-    "mux_heavy": {"NOT": 1, "AND": 1, "OR": 1, "XOR": 1, "MUX": 5, "DFF": 1},
-    "comb_only": {"NOT": 1, "AND": 2, "OR": 2, "XOR": 2, "MUX": 2, "DFF": 0},
-}
-
-_ARITY = {"NOT": 1, "AND": 2, "OR": 2, "XOR": 2, "MUX": 3}
-
-
-def random_netlist(
-    seed: int,
-    num_gates: int = 50,
-    num_inputs: int = 5,
-    profile: str = "mixed",
-) -> Netlist:
-    """A random *valid* netlist: every net driven, comb subgraph acyclic.
-
-    Mirrors elaboration's shape: DFF output nets are created up front so
-    combinational logic can read them (closing real feedback loops, since
-    each D input is later drawn from *any* net, including logic that
-    depends on that very DFF), and combinational gates only read
-    already-created nets, which keeps the comb subgraph acyclic.
-    """
-    rng = np.random.default_rng(seed)
-    weights = PROFILES[profile]
-    kinds = list(weights)
-    p = np.array([weights[k] for k in kinds], dtype=float)
-    p /= p.sum()
-    drawn = [kinds[i] for i in rng.choice(len(kinds), size=num_gates, p=p)]
-
-    netlist = Netlist()
-    netlist.ensure_consts()
-    inputs = [netlist.add_input(f"in{i}[0]") for i in range(num_inputs)]
-    dff_outs = [netlist.new_net() for kind in drawn if kind == "DFF"]
-    readable = [netlist.const0, netlist.const1, *inputs, *dff_outs]
-
-    for kind in drawn:
-        if kind == "DFF":
-            continue
-        ins = rng.choice(len(readable), size=_ARITY[kind], replace=True)
-        out = netlist.add_gate(kind, *(readable[i] for i in ins))
-        readable.append(out)
-    for q in dff_outs:
-        d = readable[rng.integers(0, len(readable))]
-        netlist.gates.append(Gate("DFF", (d,), q))
-
-    # Observe a random slice of nets plus every register.
-    num_outs = int(rng.integers(1, 6))
-    for b, i in enumerate(rng.choice(len(readable), size=num_outs)):
-        netlist.add_output(f"y[{b}]", readable[i])
-    for b, q in enumerate(dff_outs):
-        netlist.add_output(f"q[{b}]", q)
-    netlist.check()
-    return netlist
-
-
-def random_stimulus(netlist, rng, cycles: int, drop_rate: float = 0.2):
-    """Random input values; a fraction of entries is omitted entirely to
-    exercise the missing-inputs-default-low contract."""
-    nets = [net for _, net in netlist.primary_inputs]
-    stimulus = []
-    for _ in range(cycles):
-        cycle = {}
-        for net in nets:
-            if rng.random() >= drop_rate:
-                cycle[net] = bool(rng.integers(0, 2))
-        stimulus.append(cycle)
-    return stimulus
-
 
 class TestBackendEquivalence:
+    @pytest.mark.fuzz_smoke
     @pytest.mark.parametrize("profile", sorted(PROFILES))
     @pytest.mark.parametrize("seed", range(8))
     def test_random_netlists(self, profile, seed):
@@ -106,6 +37,7 @@ class TestBackendEquivalence:
             == simulate(netlist, stimulus, backend="bitparallel")
         )
 
+    @pytest.mark.fuzz_smoke
     @pytest.mark.parametrize("cycles", [0, 1, 63, 64, 65, 130])
     def test_word_block_boundaries(self, cycles):
         netlist = random_netlist(99, num_gates=40, profile="dff_heavy")
@@ -248,6 +180,7 @@ class TestPatchableSimulator:
             for name, net in pairs
         }
 
+    @pytest.mark.fuzz_smoke
     @pytest.mark.parametrize(
         "design,seed", [("uart_tx", 0), ("alu", 1), ("gray_counter", 2),
                         ("fifo_sync", 3)]
@@ -292,6 +225,7 @@ class TestPatchableSimulator:
             checked += 1
         assert checked >= 3, f"{design}: too few valid edits exercised"
 
+    @pytest.mark.fuzz_smoke
     @pytest.mark.parametrize("profile", sorted(PROFILES))
     @pytest.mark.parametrize("seed", range(3))
     def test_random_netlist_base_plans_agree(self, profile, seed):
