@@ -16,6 +16,7 @@ from repro.mcts import (
     optimize_registers,
     random_search_registers,
 )
+from repro.obs import configure_logging
 
 
 def build_redundant_design() -> "GraphBuilder":
@@ -45,6 +46,9 @@ def build_redundant_design() -> "GraphBuilder":
 
 
 def main() -> None:
+    # verbose=True routes per-cone progress through the repro.mcts
+    # logger at INFO; opt in so the walkthrough stays chatty.
+    configure_logging(verbose=1)
     graph = build_redundant_design()
     # PPA reports go through the session API so repeated runs hit the
     # artifact store; the MCTS deep-dive below stays on the phase-3

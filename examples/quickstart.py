@@ -13,9 +13,13 @@ Runs the full three-phase pipeline at a small scale:
 
 from repro.api import GenerateRequest, Session, SynthRequest
 from repro.hdl import generate_verilog
+from repro.obs import configure_logging
 
 
 def main() -> None:
+    # fit(verbose=True) reports training progress via the repro.*
+    # loggers at INFO; opt in so the demo shows its work.
+    configure_logging(verbose=1)
     session = Session(
         preset="fast",
         seed=0,

@@ -45,9 +45,33 @@ def main() -> int:
         duplicate = client.submit(request)
         assert duplicate["deduplicated"], "duplicate was not deduplicated"
         assert duplicate["job_id"] == accepted["job_id"]
-        assert client.stats()["dispatched"] == before, \
+        stats = client.stats()
+        assert stats["dispatched"] == before, \
             "dedup hit dispatched a worker"
+        assert "worker_states" in stats and stats["workers_busy"] == 0, \
+            f"worker accounting off: {stats}"
         print("[smoke] dedup hit ok: zero worker dispatch")
+
+        metrics = client.metrics()
+        assert "# TYPE repro_serve_jobs_done_total counter" in metrics, \
+            f"/metrics missing job counter:\n{metrics[:400]}"
+        assert "repro_serve_job_seconds_bucket" in metrics, \
+            "/metrics missing latency histogram"
+        print(f"[smoke] /metrics ok: {len(metrics.splitlines())} lines "
+              "of Prometheus text")
+
+        traced = client.submit(GenerateRequest(
+            count=1, nodes=40, seed=11, trace=True,
+        ))
+        assert not traced["deduplicated"]
+        client.wait(traced["job_id"])
+        trace = client.trace(traced["job_id"])
+        events = trace["traceEvents"]
+        assert any(e.get("ph") == "X" for e in events), \
+            "trace has no complete events"
+        names = {e.get("name") for e in events}
+        assert "session.item" in names, f"span names: {sorted(names)[:10]}"
+        print(f"[smoke] traced job ok: {len(events)} Perfetto events")
 
         client.shutdown()
     finally:

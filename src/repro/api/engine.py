@@ -48,6 +48,7 @@ from ..mcts import (
     optimize_registers,
     train_discriminator,
 )
+from ..obs import span
 from ..postprocess import refine_to_valid
 
 
@@ -261,11 +262,12 @@ class SynCircuit:
         timings.setdefault("sample", time.perf_counter() - started)
 
         started = time.perf_counter()
-        g_val = refine_to_valid(
-            types, widths, adjacency, probability,
-            name=name, rng=rng,
-            degree_guidance=self.config.degree_guidance,
-        )
+        with span("engine.refine", nodes=num_nodes):
+            g_val = refine_to_valid(
+                types, widths, adjacency, probability,
+                name=name, rng=rng,
+                degree_guidance=self.config.degree_guidance,
+            )
         timings["refine"] = time.perf_counter() - started
         g_opt = None
         if optimize:
@@ -281,7 +283,8 @@ class SynCircuit:
         if self.config.lint_generated:
             from ..lint import lint_graph
 
-            lint_report = lint_graph(g_opt if g_opt is not None else g_val)
+            with span("engine.lint"):
+                lint_report = lint_graph(g_opt if g_opt is not None else g_val)
             if lint_report.errors:
                 raise RuntimeError(
                     f"generated circuit {name!r} failed the lint gate: "

@@ -56,6 +56,11 @@ class GenerateRequest:
     :mod:`repro.lint.sanitize` invariant checker (pure auditing: output
     is bit-identical, divergence raises
     :class:`~repro.lint.InvariantViolation`).
+    ``trace`` records an execution timeline of the job with
+    :mod:`repro.obs` spans (observation only: output is bit-identical);
+    the serve layer stores it next to the result artifact and exposes
+    it at ``GET /jobs/<id>/trace`` as Perfetto-loadable Chrome
+    trace-event JSON.
     """
 
     count: int = 1
@@ -67,6 +72,7 @@ class GenerateRequest:
     synth_period: float | None = None
     incremental: bool | None = None
     sanitize: bool = False
+    trace: bool = False
 
     def to_dict(self) -> dict:
         return {
@@ -79,6 +85,7 @@ class GenerateRequest:
             "synth_period": self.synth_period,
             "incremental": self.incremental,
             "sanitize": self.sanitize,
+            "trace": self.trace,
         }
 
     @classmethod

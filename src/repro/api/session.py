@@ -25,6 +25,7 @@ exposes the whole reproduction through typed requests:
 
 from __future__ import annotations
 
+import contextvars
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterator
@@ -32,6 +33,7 @@ from typing import Iterator
 import numpy as np
 
 from ..ir import CircuitGraph
+from ..obs import span
 from .engine import GenerationRecord, SynCircuit, SynCircuitConfig
 from .presets import resolve_preset
 from .requests import (
@@ -194,7 +196,8 @@ class Session:
         """
         rngs = _item_rngs(request.seed, request.count)
         sizes = self._draw_sizes(request, rngs)
-        samples, per_item = self.engine.presample(sizes, rngs)
+        with span("session.presample", count=request.count):
+            samples, per_item = self.engine.presample(sizes, rngs)
         return rngs, sizes, [(sample, per_item) for sample in samples]
 
     def _generate_item(
@@ -217,13 +220,14 @@ class Session:
             import dataclasses
 
             mcts_config = dataclasses.replace(self.config.mcts, **overrides)
-        return self.engine.generate_one(
-            num_nodes, rng,
-            optimize=request.optimize,
-            name=f"{request.name_prefix}{index}",
-            mcts_config=mcts_config,
-            presampled=presampled,
-        )
+        with span("session.item", index=index, nodes=num_nodes):
+            return self.engine.generate_one(
+                num_nodes, rng,
+                optimize=request.optimize,
+                name=f"{request.name_prefix}{index}",
+                mcts_config=mcts_config,
+                presampled=presampled,
+            )
 
     def _finalize(
         self,
@@ -251,12 +255,13 @@ class Session:
         """Sequential generation (the reference path for determinism)."""
         request = request or GenerateRequest(**kwargs)
         started = time.perf_counter()
-        rngs, sizes, samples = self._prepare_items(request)
-        records = [
-            self._generate_item(k, rngs[k], request, sizes[k], samples[k])
-            for k in range(request.count)
-        ]
-        return self._finalize(records, request, started)
+        with span("session.generate", count=request.count, seed=request.seed):
+            rngs, sizes, samples = self._prepare_items(request)
+            records = [
+                self._generate_item(k, rngs[k], request, sizes[k], samples[k])
+                for k in range(request.count)
+            ]
+            return self._finalize(records, request, started)
 
     @staticmethod
     def _collect_ordered(
@@ -297,19 +302,28 @@ class Session:
         if request.workers <= 1:
             return self.generate(request)
         started = time.perf_counter()
-        rngs, sizes, samples = self._prepare_items(request)
-        with ThreadPoolExecutor(max_workers=request.workers) as pool:
-            futures = [
-                pool.submit(
-                    self._generate_item,
-                    k, rngs[k], request, sizes[k], samples[k],
-                )
-                for k in range(request.count)
-            ]
-            records = list(self._collect_ordered(
-                futures, list(range(request.count)), request
-            ))
-        return self._finalize(records, request, started)
+        with span(
+            "session.generate_batch",
+            count=request.count, workers=request.workers, seed=request.seed,
+        ):
+            rngs, sizes, samples = self._prepare_items(request)
+            with ThreadPoolExecutor(max_workers=request.workers) as pool:
+                # ThreadPoolExecutor threads do not inherit ContextVars;
+                # each item runs in a copy of the submitting context so
+                # an active trace recorder (and sanitizer) follows the
+                # work onto the pool.
+                futures = [
+                    pool.submit(
+                        contextvars.copy_context().run,
+                        self._generate_item,
+                        k, rngs[k], request, sizes[k], samples[k],
+                    )
+                    for k in range(request.count)
+                ]
+                records = list(self._collect_ordered(
+                    futures, list(range(request.count)), request
+                ))
+            return self._finalize(records, request, started)
 
     def iter_generate(
         self, request: GenerateRequest | None = None, **kwargs
@@ -361,6 +375,7 @@ class Session:
                 items = chunk_items(lo)
                 futures = [
                     pool.submit(
+                        contextvars.copy_context().run,
                         self._generate_item,
                         k, rngs[k], request, sizes[k], presampled,
                     )

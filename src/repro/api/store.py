@@ -25,6 +25,7 @@ import numpy as np
 from ..diffusion import TrainedDiffusion, load_trained, save_trained
 from ..ir import CircuitGraph
 from ..mcts import GRAPH_FEATURE_DIM, PCSDiscriminator
+from ..obs import registry
 
 
 def canonical_json(payload) -> str:
@@ -76,8 +77,10 @@ class ArtifactStore:
     def _record(self, found: bool) -> None:
         if found:
             self.hits += 1
+            registry().counter("store_hits_total").inc()
         else:
             self.misses += 1
+            registry().counter("store_misses_total").inc()
 
     # -- trained diffusion generators -----------------------------------
     def load_diffusion(self, key: str) -> TrainedDiffusion | None:

@@ -13,12 +13,14 @@ lack register feedback, the deficiency the paper measures in Figure 5.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..diffusion import AttributeSampler
 from ..ir import CircuitGraph, NUM_TYPES
+from ..obs import get_logger
 from ..nn import (
     GRUCell,
     Linear,
@@ -37,6 +39,8 @@ from .common import (
     type_position_prior,
 )
 from .graphrnn import _to_sequences
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -100,8 +104,11 @@ class DVAEBaseline:
                 optimizer.step()
                 epoch_loss += loss.item()
             self.losses.append(epoch_loss / len(sequences))
-            if verbose and epoch % 10 == 0:
-                print(f"[dvae] epoch {epoch} loss {self.losses[-1]:.4f}")
+            if epoch % 10 == 0:
+                logger.log(
+                    logging.INFO if verbose else logging.DEBUG,
+                    "[dvae] epoch %d loss %.4f", epoch, self.losses[-1],
+                )
         return self
 
     def _elbo_loss(self, seq, rng: np.random.Generator) -> Tensor:

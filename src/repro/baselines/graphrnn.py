@@ -14,12 +14,14 @@ contain no register feedback loops, unlike real designs.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass
 
 import numpy as np
 
 from ..diffusion import AttributeSampler
 from ..ir import CircuitGraph, NUM_TYPES, type_index
+from ..obs import get_logger
 from ..nn import GRUCell, MLP, Adam, Embedding, Tensor, bce_with_logits, sigmoid_np
 from .common import (
     dagify,
@@ -29,6 +31,8 @@ from .common import (
     topological_order,
     type_position_prior,
 )
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -112,8 +116,11 @@ class GraphRNNBaseline:
                 optimizer.step()
                 epoch_loss += loss.item()
             self.losses.append(epoch_loss / len(sequences))
-            if verbose and epoch % 10 == 0:
-                print(f"[graphrnn] epoch {epoch} loss {self.losses[-1]:.4f}")
+            if epoch % 10 == 0:
+                logger.log(
+                    logging.INFO if verbose else logging.DEBUG,
+                    "[graphrnn] epoch %d loss %.4f", epoch, self.losses[-1],
+                )
         return self
 
     def _sequence_loss(self, seq: _Sequence) -> Tensor:

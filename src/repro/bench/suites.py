@@ -20,6 +20,9 @@ deliberately spans the whole stack:
 * ``lint.graph``       -- the graph-scope diagnostic rules over the corpus
 * ``sanitize.overhead`` -- the incremental search with the runtime
   invariant auditor on (vs ``mcts.optimize_incremental`` = its cost)
+* ``obs.overhead``     -- the same search with an active trace recorder
+  (vs ``mcts.optimize`` = the cost of *enabled* tracing; default-off
+  span sites ride inside every other benchmark already)
 * ``diffusion.sample`` -- Phase 1 reverse denoising
 * ``diffusion.sample_batch`` -- several samples through shared denoiser
   forwards (the ``generate_batch`` phase-1 path)
@@ -278,6 +281,28 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
         report = optimize_registers(graph, config=mcts_config)
         return max(report.sanitize_checks, 1)
 
+    def obs_setup():
+        from ..obs import TraceRecorder
+
+        return load_design("uart_tx"), TraceRecorder()
+
+    obs_meta = {
+        "design": "uart_tx",
+        "num_simulations": config.mcts.num_simulations,
+        "traced": True,
+    }
+
+    def obs_run(state):
+        from ..obs import tracing
+
+        graph, recorder = state
+        recorder.clear()
+        with tracing(recorder):
+            report = optimize_registers(graph, config=config.mcts)
+        # Span volume of one traced search (stable across repeats).
+        obs_meta.setdefault("spans", recorder.recorded)
+        return max(report.total_simulations, 1)
+
     # -- diffusion sampling ---------------------------------------------
     def diffusion_setup():
         return trained_diffusion()
@@ -358,6 +383,7 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
                   meta={"design": "uart_tx",
                         "num_simulations": config.mcts.num_simulations,
                         "incremental": True, "sanitize": True}),
+        Benchmark("obs.overhead", obs_setup, obs_run, meta=obs_meta),
         Benchmark("metrics.structural", metrics_setup, metrics_run),
         Benchmark("e2e.generate", e2e_setup, e2e_run, repeats=2,
                   meta={"nodes": 44, "optimize": True}),
@@ -439,6 +465,16 @@ def run_suite(
         # the identical workload (same design, budget, reward path).
         sanitized.meta["overhead_vs_unsanitized"] = round(
             sanitized.wall_best / plain.wall_best, 2
+        )
+    traced = by_name.get("obs.overhead")
+    untraced = by_name.get("mcts.optimize")
+    if traced and untraced and untraced.wall_best > 0:
+        # Cost of *active* tracing on the identical search workload; the
+        # default-off cost is covered by mcts.optimize itself (every
+        # span site is compiled in and gated against the committed
+        # baseline).
+        traced.meta["overhead_vs_untraced"] = round(
+            traced.wall_best / untraced.wall_best, 2
         )
     batch = by_name.get("diffusion.sample_batch")
     if batch and batch.ops:

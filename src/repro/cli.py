@@ -10,7 +10,11 @@ are equivalent)::
     repro emit uart_tx -o uart_tx.v       # design -> Verilog
     repro generate -n 5 --nodes 60 -o out_dir --workers 4
                                           # fit (cached) + batch generate
+    repro trace -n 1 -o trace.json        # traced run -> Perfetto JSON
     repro cache --stats                   # inspect the artifact store
+
+``-v`` / ``-vv`` (or ``REPRO_LOG=DEBUG``) turns on the ``repro.*``
+diagnostic log stream; everything is quiet by default.
 """
 
 from __future__ import annotations
@@ -384,6 +388,44 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .api import GenerateRequest, resolve_preset
+    from .obs import TraceRecorder, tracing
+
+    try:
+        config = resolve_preset(args.preset, seed=args.seed)
+    except KeyError as exc:
+        raise SystemExit(f"error: {exc.args[0]}")
+    session = _session(args, config=config)
+    print(f"fitting preset {args.preset!r} (artifact cache "
+          f"{'on' if session.use_cache else 'off'}) ...")
+    session.fit()
+    recorder = TraceRecorder()
+    with tracing(recorder):
+        result = session.generate(GenerateRequest(
+            count=args.count,
+            nodes=args.nodes,
+            seed=args.seed,
+            optimize=not args.no_optimize,
+        ))
+    path = recorder.write_chrome_trace(
+        args.output,
+        metadata={"preset": args.preset, "seed": args.seed,
+                  "count": args.count},
+    )
+    print(f"{len(result.records)} circuit(s) in {result.elapsed:.2f}s; "
+          f"{recorder.recorded} spans ({recorder.dropped} dropped) "
+          f"-> {path}")
+    print(f"{'span':<24s}{'count':>8s}{'total ms':>12s}")
+    for name, (count, total_ms) in sorted(
+        recorder.totals().items(), key=lambda kv: -kv[1][1]
+    ):
+        print(f"{name:<24s}{count:>8d}{total_ms:>12.2f}")
+    print("load the JSON at https://ui.perfetto.dev to explore the "
+          "timeline")
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     from .api import ArtifactStore
 
@@ -411,6 +453,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--no-cache", action="store_true",
         help="bypass the artifact store entirely",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0, dest="verbosity",
+        help="enable repro.* diagnostics on stderr (-v INFO, -vv DEBUG; "
+             "the REPRO_LOG env var overrides, e.g. "
+             "REPRO_LOG=serve=DEBUG,mcts=INFO)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -559,6 +607,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="render one frame and exit (no screen clear)")
     p_top.set_defaults(func=_cmd_top)
 
+    p_trace = sub.add_parser(
+        "trace",
+        help="run a traced generation and write Perfetto-loadable "
+             "Chrome trace-event JSON",
+    )
+    p_trace.add_argument("-n", "--count", type=int, default=1)
+    p_trace.add_argument("--nodes", type=int, default=60)
+    p_trace.add_argument(
+        "--preset", default="fast",
+        help="scenario preset (see `repro presets`)",
+    )
+    p_trace.add_argument("--seed", type=int, default=0)
+    p_trace.add_argument("--no-optimize", action="store_true")
+    p_trace.add_argument(
+        "-o", "--output", default="trace.json",
+        help="trace JSON path (default: trace.json)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
+
     p_bench = sub.add_parser(
         "bench", help="run the microbenchmark suite, write BENCH_<suite>.json"
     )
@@ -620,6 +687,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    from .obs import configure_logging
+
+    configure_logging(verbose=getattr(args, "verbosity", 0))
     return args.func(args)
 
 

@@ -12,6 +12,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs import span
+from .model import DenoisingNetwork
 from .train import TrainedDiffusion
 
 
@@ -58,18 +60,19 @@ def sample_initial_graph(
     # Size-adaptive schedule: same step count, density matched to N.
     schedule = NoiseSchedule.cosine(steps, trained.target_density(n))
 
-    a_t = schedule.prior_sample((n, n), rng)
-    p_x0 = np.full((n, n), schedule.noise_density)
-    bias = trained.calibration_bias(n)
-    for t in range(steps, 0, -1):
-        p_x0 = model.predict_full(
-            types, buckets, a_t, t / steps, logit_bias=bias
-        )
-        if t > 1:
-            p_prev = schedule.posterior_probability(a_t, p_x0, t)
-            a_t = rng.random((n, n)) < p_prev
-        else:
-            a_t = rng.random((n, n)) < p_x0
+    with span("diffusion.sample", nodes=n, steps=steps):
+        a_t = schedule.prior_sample((n, n), rng)
+        p_x0 = np.full((n, n), schedule.noise_density)
+        bias = trained.calibration_bias(n)
+        for t in range(steps, 0, -1):
+            p_x0 = model.predict_full(
+                types, buckets, a_t, t / steps, logit_bias=bias
+            )
+            if t > 1:
+                p_prev = schedule.posterior_probability(a_t, p_x0, t)
+                a_t = rng.random((n, n)) < p_prev
+            else:
+                a_t = rng.random((n, n)) < p_x0
     return SampleResult(
         adjacency=a_t.astype(bool),
         edge_probability=p_x0,
@@ -98,9 +101,6 @@ def sample_batch(
     """
     if len(sizes) != len(rngs):
         raise ValueError("sizes and rngs must have equal length")
-    from .features import width_bucket
-    from .schedule import NoiseSchedule
-
     # Attribute sampling consumes each item's rng first, exactly like
     # the per-item path (item order is irrelevant: rngs are private).
     attrs = [
@@ -113,6 +113,28 @@ def sample_batch(
 
     model = trained.model
     steps = trained.schedule.num_steps
+    with span(
+        "diffusion.sample_batch",
+        items=len(sizes), groups=len(groups), steps=steps,
+    ):
+        _sample_groups(
+            trained, model, steps, groups, attrs, rngs, results
+        )
+    return results  # type: ignore[return-value]
+
+
+def _sample_groups(
+    trained: TrainedDiffusion,
+    model: DenoisingNetwork,
+    steps: int,
+    groups: dict[int, list[int]],
+    attrs: list[tuple[np.ndarray, np.ndarray]],
+    rngs: list[np.random.Generator],
+    results: list[SampleResult | None],
+) -> None:
+    from .features import width_bucket
+    from .schedule import NoiseSchedule
+
     for n, members in groups.items():
         schedule = NoiseSchedule.cosine(steps, trained.target_density(n))
         bias = trained.calibration_bias(n)
@@ -150,4 +172,3 @@ def sample_batch(
                 types=types[b],
                 widths=widths[b],
             )
-    return results  # type: ignore[return-value]

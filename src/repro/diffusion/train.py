@@ -9,15 +9,19 @@ graphs are sparse, so full-matrix BCE would drown the positive signal).
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, field
 
 import numpy as np
 
 from ..ir import CircuitGraph
 from ..nn import Adam, bce_with_logits
+from ..obs import get_logger
 from .features import AttributeSampler, graph_attributes
 from .model import DenoisingNetwork
 from .schedule import NoiseSchedule
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -144,8 +148,11 @@ def train_diffusion(
             optimizer.step()
             epoch_loss += loss.item()
         losses.append(epoch_loss / len(graphs))
-        if verbose and (epoch % 10 == 0 or epoch == config.epochs - 1):
-            print(f"[diffusion] epoch {epoch:4d}  loss {losses[-1]:.4f}")
+        if epoch % 10 == 0 or epoch == config.epochs - 1:
+            logger.log(
+                logging.INFO if verbose else logging.DEBUG,
+                "[diffusion] epoch %4d  loss %.4f", epoch, losses[-1],
+            )
 
     return TrainedDiffusion(
         model=model,

@@ -26,6 +26,7 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass
 
 from ..ir import CircuitGraph, NodeType
+from ..obs import span
 from ..synth.elaborate import _Elaborator
 from ..synth.library import DEFAULT_LIBRARY, CellLibrary
 from ..synth.netlist import Gate, Netlist
@@ -266,6 +267,9 @@ class DeltaNetlist:
     ) -> "DeltaNetlist":
         """Delta for ``new_graph``: re-elaborate the dirty cone only.
 
+        Traced as an ``incr.apply_edit`` span carrying the dirty-node
+        and patched-gate counts (a no-op without an active recorder).
+
         ``touched`` (node ids whose parents changed) is computed with
         :meth:`CircuitGraph.structural_delta` when not supplied.  Falls
         back to a full tracked elaboration when the node schema changed
@@ -279,6 +283,16 @@ class DeltaNetlist:
         with pass-through output bits (slices, concats, constant
         padding) propagate dirt to their fanout.
         """
+        with span("incr.apply_edit") as edit_span:
+            delta = self._apply_edit(new_graph, touched)
+            edit_span.add(
+                patched=len(delta.patched), nets=delta.num_nets
+            )
+            return delta
+
+    def _apply_edit(
+        self, new_graph: CircuitGraph, touched: list[int] | None
+    ) -> "DeltaNetlist":
         if touched is None:
             touched = new_graph.structural_delta(self.graph)
             if touched is None:

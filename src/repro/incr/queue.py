@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from ..ir import CircuitGraph
 from ..lint.sanitize import current_sanitizer
+from ..obs import registry, span
 from ..synth.library import DEFAULT_LIBRARY, CellLibrary
 from ..synth.simulate import PatchableSimulator, packed_stimulus_word
 from ..synth.timing import TimingReport
@@ -112,10 +113,20 @@ class CandidateQueue:
     def flush(self) -> list[CandidateResult]:
         """Evaluate and clear all pending candidates, in order."""
         pending, self._pending = self._pending, []
-        results = []
-        for index, graph in enumerate(pending):
-            results.append(self._evaluate(index, graph))
+        chained_before = self.chained
+        with span("incr.flush", batch=len(pending)) as flush_span:
+            results = []
+            for index, graph in enumerate(pending):
+                results.append(self._evaluate(index, graph))
+            flush_span.add(chained=self.chained - chained_before)
         self.evaluated += len(results)
+        if results:
+            reg = registry()
+            reg.counter("queue_evaluated_total").inc(len(results))
+            if self.chained > chained_before:
+                reg.counter("queue_chained_total").inc(
+                    self.chained - chained_before
+                )
         return results
 
     def evaluate(self, graphs: list[CircuitGraph]) -> list[CandidateResult]:

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 
 from ..ir import CircuitGraph, NodeType
 from ..lint.sanitize import current_sanitizer
+from ..obs import span
 from ..synth.elaborate import elaborate
 from ..synth.flow import synthesize
 from ..synth.library import DEFAULT_LIBRARY, CellLibrary
@@ -149,6 +150,12 @@ class IncrementalReward:
         if self._base_graph is graph:
             return
         self.rebases += 1
+        with span("incr.rebase", exact=exact_pcs is not None):
+            self._rebase(graph, exact_pcs)
+
+    def _rebase(
+        self, graph: CircuitGraph, exact_pcs: float | None
+    ) -> None:
         if exact_pcs is None:
             exact_pcs = synthesize(
                 graph, clock_period=self.clock_period, strength=self.strength,

@@ -89,17 +89,17 @@ __all__ = [
 ]
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> object:
     module_name = _LAZY.get(name)
     if module_name is not None:
         from importlib import import_module
 
         module = import_module(f".{module_name}", __name__)
-        value = getattr(module, name)
+        value: object = getattr(module, name)
         globals()[name] = value
         return value
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
-def __dir__():
+def __dir__() -> list[str]:
     return sorted(set(globals()) | set(__all__))

@@ -75,7 +75,7 @@ SANITIZER_RULES = tuple(register(Rule(
 class InvariantViolation(RuntimeError):
     """An incremental structure diverged from its from-scratch recompute."""
 
-    def __init__(self, diagnostic: Diagnostic):
+    def __init__(self, diagnostic: Diagnostic) -> None:
         super().__init__(str(diagnostic))
         self.diagnostic = diagnostic
 
@@ -163,7 +163,7 @@ class Sanitizer:
         checks: Iterable[str] | None = None,
         num_cycles: int = 32,
         seed: int = 0,
-    ):
+    ) -> None:
         self.enabled = frozenset(checks) if checks is not None else None
         self.num_cycles = num_cycles
         self.seed = seed

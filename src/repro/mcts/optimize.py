@@ -9,6 +9,7 @@ seen.
 
 from __future__ import annotations
 
+import logging
 import math
 from dataclasses import dataclass, field
 
@@ -17,10 +18,13 @@ import numpy as np
 from ..ir import CircuitGraph, GraphView
 from ..lint.sanitize import from_config as _sanitizer_from_config
 from ..lint.sanitize import sanitizing
+from ..obs import get_logger, registry, span
 from .actions import SwapIndex, apply_swap
 from .cones import all_cones, driving_cone
 from .reward import CachedReward, ConeBatchEvaluator, SynthesisReward
 from .tree import ConeSearchResult, MCTSOptimizer, RewardFn
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -159,6 +163,30 @@ class OptimizationReport:
         return sum(r.simulations for r in self.cone_results.values())
 
 
+#: Report fields mirrored into the process-wide metrics registry as
+#: ``repro_<field>_total`` counters at the end of every search.  The
+#: registry is the aggregated source surfaces like ``GET /metrics``
+#: read; the per-run report keeps the same numbers scoped to one call.
+_PUBLISHED_COUNTERS = (
+    "reward_calls", "reward_cache_hits",
+    "analysis_delta_hits", "analysis_fallbacks", "analysis_divergences",
+    "oracle_delta_hits", "oracle_fallbacks", "oracle_divergences",
+    "sanitize_checks", "equivalence_rejections", "cone_check_failures",
+)
+
+
+def _publish_metrics(report: OptimizationReport) -> None:
+    """Fold one finished search's counters into the global registry."""
+    reg = registry()
+    reg.counter("searches_total").inc()
+    reg.counter("simulations_total").inc(report.total_simulations)
+    reg.counter("improved_cones_total").inc(report.improved_cones)
+    for name in _PUBLISHED_COUNTERS:
+        value = getattr(report, name)
+        if value:
+            reg.counter(f"{name}_total").inc(value)
+
+
 def _resolve_search_rewards(config: MCTSConfig, reward_fn: RewardFn | None):
     """(search reward, incremental engine or None, oracle or None).
 
@@ -239,7 +267,8 @@ def optimize_registers(
     # The sanitizing context is a no-op for sanitizer=None; inside it the
     # incremental machinery's checkpoints (SwapIndex, delta netlists,
     # timing overlays, patched simulators) audit themselves.
-    with sanitizing(sanitizer):
+    with span("mcts.optimize", cones=len(cones),
+              incremental=incremental is not None), sanitizing(sanitizer):
         for cone in cones:
             if not cone.interior:
                 continue  # nothing to rewire inside a bare feedback register
@@ -264,7 +293,11 @@ def optimize_registers(
                 seed=config.seed + cone.register,
             )
             live_cone = driving_cone(current, cone.register)
-            result = optimizer.optimize_cone(current, live_cone)
+            with span("mcts.cone", register=cone.register,
+                      interior=len(cone.interior)) as cone_span:
+                result = optimizer.optimize_cone(current, live_cone)
+                cone_span.add(simulations=result.simulations,
+                              improved=result.improved)
             report.cone_results[cone.register] = result
             if isinstance(search_reward, CachedReward):
                 report.reward_calls += search_reward.calls
@@ -308,7 +341,8 @@ def optimize_registers(
                         current_pcs = None
                         accepted = True
                     else:
-                        candidate_pcs = oracle(result.best_graph)
+                        with span("mcts.oracle", register=cone.register):
+                            candidate_pcs = oracle(result.best_graph)
                         if candidate_pcs > current_pcs + 1e-12:
                             current = result.best_graph
                             current_pcs = candidate_pcs
@@ -335,16 +369,16 @@ def optimize_registers(
                         report.cone_function_preserved[
                             cone.register
                         ] = preserved
-            if verbose:
-                outcome = (
-                    "accepted" if accepted
-                    else "rejected (function changed)" if rejected else "kept"
-                )
-                print(
-                    f"[mcts] reg {cone.register}: "
-                    f"pcs {result.initial_reward:.3f}"
-                    f" -> {result.best_reward:.3f} ({outcome})"
-                )
+            outcome = (
+                "accepted" if accepted
+                else "rejected (function changed)" if rejected else "kept"
+            )
+            logger.log(
+                logging.INFO if verbose else logging.DEBUG,
+                "[mcts] reg %d: pcs %.3f -> %.3f (%s)",
+                cone.register, result.initial_reward,
+                result.best_reward, outcome,
+            )
     if sanitizer is not None:
         report.sanitize_checks = sanitizer.checks_run
     if incremental is not None:
@@ -362,6 +396,7 @@ def optimize_registers(
     if isinstance(current, GraphView):
         current = current.materialize()
     report.graph = current
+    _publish_metrics(report)
     return report
 
 
@@ -503,11 +538,11 @@ def random_search_registers(
                         current = best_graph
                         current_pcs = candidate_pcs
                         current.edit_origin = None
-            if verbose:
-                print(
-                    f"[random] reg {cone.register}: pcs {initial:.3f}"
-                    f" -> {best_reward:.3f}"
-                )
+            logger.log(
+                logging.INFO if verbose else logging.DEBUG,
+                "[random] reg %d: pcs %.3f -> %.3f",
+                cone.register, initial, best_reward,
+            )
     if sanitizer is not None:
         report.sanitize_checks = sanitizer.checks_run
     if incremental is not None:
@@ -522,4 +557,5 @@ def random_search_registers(
     if isinstance(current, GraphView):
         current = current.materialize()
     report.graph = current
+    _publish_metrics(report)
     return report

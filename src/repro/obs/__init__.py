@@ -1,0 +1,51 @@
+"""Unified observability layer: tracing spans, metrics, logging.
+
+Three cooperating pieces, all default-off and all observation-only
+(an instrumented run is bit-identical to a plain one):
+
+* :mod:`repro.obs.trace` -- ContextVar-scoped span recording into a
+  preallocated ring buffer, exportable as Chrome trace-event JSON that
+  https://ui.perfetto.dev loads directly.  ``span("phase", **attrs)``
+  costs one ContextVar read when no recorder is active.
+* :mod:`repro.obs.metrics` -- named counters / gauges / histograms in a
+  process-wide registry with Prometheus text rendering; the single
+  source behind ``GET /metrics``, ``/stats`` and ``repro top``.
+* :mod:`repro.obs.logs` -- the ``repro.*`` logging namespace: module
+  loggers, quiet by default, enabled via ``--verbose`` / ``REPRO_LOG``.
+"""
+
+from .logs import configure_logging, get_logger, parse_env_spec
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    registry,
+)
+from .trace import (
+    SpanRecord,
+    TraceRecorder,
+    current_recorder,
+    instant,
+    is_tracing,
+    span,
+    tracing,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SpanRecord",
+    "TraceRecorder",
+    "configure_logging",
+    "current_recorder",
+    "get_logger",
+    "instant",
+    "is_tracing",
+    "parse_env_spec",
+    "registry",
+    "span",
+    "tracing",
+]

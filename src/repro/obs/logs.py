@@ -1,0 +1,118 @@
+"""Level-gated logging for the ``repro.*`` namespace.
+
+Every module that used to ``print()`` diagnostics now carries a module
+logger (``logging.getLogger(__name__)`` -- the gridworks exemplar's
+idiom), all parented under the ``repro`` logger this module configures.
+Nothing is emitted by default: the root ``repro`` logger gets a
+:class:`logging.NullHandler` on import, so library users see silence
+unless they -- or the CLI -- opt in.
+
+Opt-ins:
+
+* ``repro --verbose <cmd>`` / ``-vv``  -- INFO / DEBUG on ``repro``.
+* ``REPRO_LOG=DEBUG``                  -- one level for the whole tree.
+* ``REPRO_LOG=repro.serve=DEBUG,repro.mcts=INFO`` -- per-logger levels
+  (names without a dot are prefixed with ``repro.``).
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import TextIO
+
+#: The namespace root every repro module logger hangs under.
+ROOT = "repro"
+
+_FORMAT = "%(asctime)s %(levelname).1s %(name)s: %(message)s"
+_DATE_FORMAT = "%H:%M:%S"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Module logger under the ``repro`` namespace.
+
+    Accepts a ``__name__`` (already ``repro.x.y``) or a bare suffix.
+    """
+    if not name.startswith(ROOT):
+        name = f"{ROOT}.{name}"
+    return logging.getLogger(name)
+
+
+def parse_env_spec(spec: str) -> dict[str, int]:
+    """``REPRO_LOG`` value -> ``{logger name: level}``.
+
+    ``"DEBUG"`` applies to the root; ``"serve=DEBUG,mcts=INFO"`` sets
+    per-subtree levels.  Unknown level names raise ``ValueError`` (a
+    typo in the environment should be loud, not silently quiet).
+    """
+    levels: dict[str, int] = {}
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "=" in part:
+            name, _, level_name = part.partition("=")
+            name = name.strip()
+            if not name.startswith(ROOT):
+                name = f"{ROOT}.{name}"
+        else:
+            name, level_name = ROOT, part
+        level = logging.getLevelName(level_name.strip().upper())
+        if not isinstance(level, int):
+            raise ValueError(
+                f"REPRO_LOG: unknown level {level_name.strip()!r}"
+            )
+        levels[name] = level
+    return levels
+
+
+def configure_logging(
+    verbose: int = 0,
+    stream: TextIO | None = None,
+    env: str | None = None,
+) -> logging.Logger:
+    """Attach one stream handler to the ``repro`` logger.
+
+    ``verbose`` counts ``-v`` flags: 0 -> WARNING (quiet default),
+    1 -> INFO, 2+ -> DEBUG.  ``REPRO_LOG`` (or the explicit ``env``
+    argument) overrides the verbosity and may set per-subtree levels.
+    Idempotent: repeat calls reconfigure the existing handler instead
+    of stacking duplicates.
+    """
+    root = logging.getLogger(ROOT)
+    spec = os.environ.get("REPRO_LOG", "") if env is None else env
+    levels = parse_env_spec(spec) if spec else {}
+    base_level = levels.pop(ROOT, None)
+    if base_level is None:
+        base_level = (
+            logging.WARNING if verbose <= 0
+            else logging.INFO if verbose == 1
+            else logging.DEBUG
+        )
+
+    handler = None
+    for existing in root.handlers:
+        if getattr(existing, "_repro_cli", False):
+            handler = existing
+            break
+    if handler is None:
+        handler = logging.StreamHandler(stream or sys.stderr)
+        handler._repro_cli = True  # type: ignore[attr-defined]
+        handler.setFormatter(logging.Formatter(_FORMAT, _DATE_FORMAT))
+        root.addHandler(handler)
+    elif stream is not None:
+        try:
+            handler.setStream(stream)  # type: ignore[attr-defined]
+        except ValueError:
+            # setStream flushes the outgoing stream first; if that one
+            # is already closed (a captured stderr from a finished test,
+            # a redirected pipe), just swap without the flush.
+            handler.stream = stream  # type: ignore[attr-defined]
+
+    root.setLevel(base_level)
+    for name, level in levels.items():
+        logging.getLogger(name).setLevel(level)
+    return root

@@ -75,6 +75,27 @@ class ServeClient:
     def stats(self) -> dict:
         return self._call("GET", "/stats")
 
+    def metrics(self) -> str:
+        """``GET /metrics``: the Prometheus text exposition (raw text,
+        not JSON -- scrape-compatible)."""
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            text = response.read().decode()
+            if response.status >= 400:
+                raise ServeError(f"GET /metrics -> {response.status}")
+            return text
+        finally:
+            conn.close()
+
+    def trace(self, job_id: str) -> dict:
+        """``GET /jobs/<id>/trace``: the job's Chrome trace-event JSON
+        (present only when the job was submitted with ``trace=True``)."""
+        return self._call("GET", f"/jobs/{job_id}/trace")
+
     def jobs(self) -> list[dict]:
         return self._call("GET", "/jobs")["jobs"]
 

@@ -47,9 +47,22 @@ def request_key(config: dict, request: dict) -> str:
     # Bit-identical to sequential by the Session contract; purely a
     # wall-clock knob, so it is not part of the job's identity.
     payload.pop("workers", None)
+    # Tracing is observation-only (repro.obs contract), so a traced and
+    # an untraced submit produce -- and share -- the same artifact.
+    payload.pop("trace", None)
     return ArtifactStore.key("generate", {
         "config": config, "request": payload,
     })
+
+
+def trace_key(result_key: str) -> str:
+    """Store key of the execution trace captured for ``result_key``.
+
+    Kept *separate* from the result artifact: traces are wall-clock
+    data, so folding them into the result would make the same content
+    address resolve to different bytes across runs.
+    """
+    return f"{result_key}-trace"
 
 
 @dataclass

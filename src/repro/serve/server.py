@@ -36,6 +36,7 @@ import json
 import threading
 import time
 
+from ..obs import get_logger, registry
 from .protocol import (
     DONE,
     FAILED,
@@ -48,9 +49,12 @@ from .protocol import (
     WorkerReady,
     parse_event,
     request_key,
+    trace_key,
 )
 from .queue import JobQueue
 from .workers import WorkerPool
+
+logger = get_logger(__name__)
 
 _WS_GUID = "258EAFA5-E914-47DA-95CA-C5AB0DC85B11"
 _REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
@@ -80,11 +84,18 @@ def _ws_text_frame(payload: bytes) -> bytes:
 _WS_CLOSE_FRAME = bytes([0x88, 0x00])
 
 
-def _http_response(status: int, payload: dict) -> bytes:
-    body = json.dumps(payload).encode()
+def _http_response(
+    status: int,
+    payload: "dict | str",
+    content_type: str = "application/json",
+) -> bytes:
+    if isinstance(payload, str):
+        body = payload.encode()
+    else:
+        body = json.dumps(payload).encode()
     head = (
         f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
-        "Content-Type: application/json\r\n"
+        f"Content-Type: {content_type}\r\n"
         f"Content-Length: {len(body)}\r\n"
         "Connection: close\r\n\r\n"
     ).encode()
@@ -141,6 +152,11 @@ class ReproServer:
         self.port = port
         self.dedup_hits = 0
         self.workers_ready = 0
+        #: Per-worker lifecycle state: ``starting`` (process launched,
+        #: session still fitting) -> ``idle`` <-> ``busy``.
+        self._worker_state: dict[int, str] = {
+            worker_id: "starting" for worker_id in range(self.pool.workers)
+        }
         self._by_key: dict[str, str] = {}
         self._history: dict[str, list[dict]] = {}
         self._subscribers: dict[str, list[asyncio.Queue]] = {}
@@ -236,23 +252,50 @@ class ReproServer:
 
     def _on_event(self, data: dict) -> None:
         event = parse_event(data)
+        reg = registry()
         if isinstance(event, WorkerReady):
             self.workers_ready += 1
+            self._worker_state[event.worker] = "idle"
+            logger.info("worker %d ready", event.worker)
             return
         if isinstance(event, JobStarted):
             self.queue.mark_running(event.job_id, event.worker)
+            self._worker_state[event.worker] = "busy"
+            logger.debug("job %s started on worker %d",
+                         event.job_id, event.worker)
         elif isinstance(event, JobProgress):
             self.queue.mark_progress(event.job_id, event.index + 1)
         elif isinstance(event, JobDone):
             self.queue.mark_done(event.job_id)
+            self._mark_worker_idle(event.job_id)
+            reg.counter("serve_jobs_done_total").inc()
+            done_job = self.queue.get(event.job_id)
+            if done_job is not None:
+                reg.counter("serve_records_total").inc(
+                    float(done_job.records_done)
+                )
+            reg.histogram("serve_job_seconds").observe(event.elapsed)
+            logger.info("job %s done in %.2fs", event.job_id, event.elapsed)
         elif isinstance(event, JobFailed):
             self.queue.mark_failed(event.job_id, event.error)
+            self._mark_worker_idle(event.job_id)
+            reg.counter("serve_jobs_failed_total").inc()
+            logger.warning("job %s failed: %s",
+                           event.job_id, event.error.splitlines()[0])
+        reg.gauge("serve_queue_depth").set(self.queue.depth())
         job_id = data.get("job_id")
         if job_id is None:
             return
         self._history.setdefault(job_id, []).append(data)
         for sub in self._subscribers.get(job_id, []):
             sub.put_nowait(data)
+
+    def _mark_worker_idle(self, job_id: str) -> None:
+        """Flip the worker that ran ``job_id`` back to idle (terminal
+        events carry no worker id; the queue's job record does)."""
+        job = self.queue.get(job_id)
+        if job is not None and job.worker is not None:
+            self._worker_state[job.worker] = "idle"
 
     # -- submission ------------------------------------------------------
     def submit(self, payload: dict) -> tuple[Job, bool]:
@@ -280,6 +323,7 @@ class ReproServer:
             )
             if existing is not None and existing.state != FAILED:
                 self.dedup_hits += 1
+                registry().counter("serve_jobs_deduped_total").inc()
                 return existing, True
             if self.store.load_json(key) is not None:
                 # Completed in an earlier server life: answer from the
@@ -288,25 +332,60 @@ class ReproServer:
                                         from_cache=True)
                 self._by_key[key] = job.job_id
                 self.dedup_hits += 1
+                registry().counter("serve_jobs_deduped_total").inc()
                 return job, True
         job = self.queue.submit(request, key)
         self._by_key[key] = job.job_id
         self.pool.dispatch(job.job_id, job.request, job.result_key)
+        registry().counter("serve_jobs_dispatched_total").inc()
+        registry().gauge("serve_queue_depth").set(self.queue.depth())
         return job, False
 
     def stats(self) -> dict:
         from ..api.store import fingerprint
 
+        reg = registry()
+        job_seconds = reg.get("serve_job_seconds")
+        done = reg.value("serve_jobs_done_total")
+        busy = sum(
+            1 for state in self._worker_state.values() if state == "busy"
+        )
+        uptime = time.time() - self._started_at
         return {
-            "uptime": time.time() - self._started_at,
+            "uptime": uptime,
             "config_fingerprint": fingerprint(self._config_payload)[:12],
             "workers": self.pool.workers,
             "workers_alive": self.pool.alive(),
             "workers_ready": self.workers_ready,
+            "workers_busy": busy,
+            "workers_idle": max(self.workers_ready - busy, 0),
+            "worker_states": {
+                str(worker_id): state
+                for worker_id, state in sorted(self._worker_state.items())
+            },
             "queue": self.queue.counts(),
             "depth": self.queue.depth(),
             "dispatched": self.pool.dispatched,
             "dedup_hits": self.dedup_hits,
+            "jobs": {
+                "dispatched": reg.value("serve_jobs_dispatched_total"),
+                "deduped": reg.value("serve_jobs_deduped_total"),
+                "done": done,
+                "failed": reg.value("serve_jobs_failed_total"),
+                "records": reg.value("serve_records_total"),
+            },
+            "throughput": {
+                "jobs_per_minute": 60.0 * done / uptime if uptime > 0
+                else 0.0,
+                "p50_seconds": job_seconds.quantile(0.50)
+                if job_seconds is not None else None,
+                "p99_seconds": job_seconds.quantile(0.99)
+                if job_seconds is not None else None,
+            },
+            "dedup_rate": (
+                self.dedup_hits / (self.dedup_hits + self.pool.dispatched)
+                if (self.dedup_hits + self.pool.dispatched) else 0.0
+            ),
             "store": {
                 "root": str(self.store.root),
                 "hits": self.store.hits,
@@ -328,8 +407,11 @@ class ReproServer:
                 job_id = path[len("/jobs/"):-len("/stream")]
                 await self._handle_stream(job_id, headers, reader, writer)
                 return
-            status, payload = self._route(method, path, body)
-            writer.write(_http_response(status, payload))
+            routed = self._route(method, path, body)
+            content_type = (
+                routed[2] if len(routed) > 2 else "application/json"
+            )
+            writer.write(_http_response(routed[0], routed[1], content_type))
             await writer.drain()
         except (ConnectionError, OSError):
             pass
@@ -345,6 +427,12 @@ class ReproServer:
             return 200, {"ok": True}
         if method == "GET" and path == "/stats":
             return 200, self.stats()
+        if method == "GET" and path == "/metrics":
+            return (
+                200,
+                registry().render_prometheus(),
+                "text/plain; version=0.0.4; charset=utf-8",
+            )
         if method == "GET" and path == "/jobs":
             return 200, {"jobs": [j.summary() for j in self.queue.jobs()]}
         if method == "POST" and path == "/jobs":
@@ -366,6 +454,17 @@ class ReproServer:
             return 200, {"ok": True, "shutting_down": True}
         if path.startswith("/jobs/"):
             rest = path[len("/jobs/"):]
+            if method == "GET" and rest.endswith("/trace"):
+                job = self.queue.get(rest[:-len("/trace")])
+                if job is None:
+                    return 404, {"error": "unknown job"}
+                trace = self.store.load_json(trace_key(job.result_key))
+                if trace is None:
+                    return 404, {
+                        "error": "no trace for this job (submit with "
+                                 '{"trace": true} to record one)',
+                    }
+                return 200, trace
             if method == "GET" and rest.endswith("/result"):
                 job = self.queue.get(rest[:-len("/result")])
                 if job is None:

@@ -21,12 +21,16 @@ _STATE_GLYPHS = {"queued": "·", "running": ">", "done": "✓", "failed": "✗"}
 def render_frame(stats: dict, jobs: list[dict], max_rows: int = 30) -> str:
     """Pure formatter: one dashboard frame from the two API payloads."""
     queue = stats.get("queue", {})
+    throughput = stats.get("throughput", {})
+    p50 = throughput.get("p50_seconds")
+    p99 = throughput.get("p99_seconds")
     lines = [
         (
             f"repro serve  up {stats.get('uptime', 0.0):7.1f}s   "
             f"config {stats.get('config_fingerprint', '?')}   "
             f"workers {stats.get('workers_ready', 0)}"
             f"/{stats.get('workers', 0)} ready"
+            f" ({stats.get('workers_busy', 0)} busy)"
         ),
         (
             f"jobs: {queue.get('queued', 0)} queued  "
@@ -35,6 +39,12 @@ def render_frame(stats: dict, jobs: list[dict], max_rows: int = 30) -> str:
             f"{queue.get('failed', 0)} failed   "
             f"dispatched {stats.get('dispatched', 0)}   "
             f"dedup hits {stats.get('dedup_hits', 0)}"
+        ),
+        (
+            f"rate: {throughput.get('jobs_per_minute', 0.0):6.2f} jobs/min   "
+            f"latency p50 {'-' if p50 is None else f'{p50:.2f}s'}  "
+            f"p99 {'-' if p99 is None else f'{p99:.2f}s'}   "
+            f"dedup rate {stats.get('dedup_rate', 0.0):.0%}"
         ),
         "",
         f"  {'job':<14s}{'state':<9s}{'progress':<10s}{'seed':>6s}"

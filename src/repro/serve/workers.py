@@ -28,7 +28,14 @@ import queue as queue_mod
 import time
 import traceback
 
-from .protocol import JobDone, JobFailed, JobProgress, JobStarted, WorkerReady
+from .protocol import (
+    JobDone,
+    JobFailed,
+    JobProgress,
+    JobStarted,
+    WorkerReady,
+    trace_key,
+)
 
 
 def worker_main(
@@ -46,6 +53,7 @@ def worker_main(
         SynCircuitConfig,
         SynthRequest,
     )
+    from ..obs import TraceRecorder, tracing
 
     config = SynCircuitConfig.from_dict(config_payload)
     session = Session(config=config, cache_dir=cache_dir)
@@ -60,23 +68,25 @@ def worker_main(
         event_q.put(JobStarted(job_id=job_id, worker=worker_id).to_dict())
         try:
             request = GenerateRequest.from_dict(task["request"])
+            recorder = TraceRecorder() if request.trace else None
             started = time.perf_counter()
             records = []
-            for record in session.iter_generate(request):
-                records.append(record)
-                event_q.put(JobProgress(
-                    job_id=job_id,
-                    index=len(records) - 1,
-                    count=request.count,
-                    timings=record.timings,
-                ).to_dict())
-            synth = None
-            if request.synth_period is not None:
-                synth = [
-                    session.synth(SynthRequest(rec.graph,
-                                               request.synth_period))
-                    for rec in records
-                ]
+            with tracing(recorder):
+                for record in session.iter_generate(request):
+                    records.append(record)
+                    event_q.put(JobProgress(
+                        job_id=job_id,
+                        index=len(records) - 1,
+                        count=request.count,
+                        timings=record.timings,
+                    ).to_dict())
+                synth = None
+                if request.synth_period is not None:
+                    synth = [
+                        session.synth(SynthRequest(rec.graph,
+                                                   request.synth_period))
+                        for rec in records
+                    ]
             result = GenerateResult(
                 records=records,
                 request=request,
@@ -85,6 +95,17 @@ def worker_main(
                 elapsed=time.perf_counter() - started,
             )
             session.store.save_json(task["result_key"], result.to_dict())
+            if recorder is not None:
+                # Stored beside -- never inside -- the result artifact:
+                # traces are wall-clock data and must not perturb the
+                # content-addressed result bytes (see protocol.trace_key).
+                session.store.save_json(
+                    trace_key(str(task["result_key"])),
+                    recorder.to_chrome_trace(
+                        process_name=f"repro-worker-{worker_id}",
+                        metadata={"job_id": job_id},
+                    ),
+                )
             event_q.put(JobDone(
                 job_id=job_id,
                 result_key=str(task["result_key"]),

@@ -63,6 +63,15 @@ class TestProtocol:
         # Fan-out is bit-identical, so worker count is not request identity.
         assert request_key(config, one) == request_key(config, four)
 
+    def test_request_key_ignores_trace(self):
+        # Tracing is observation only, so a traced submit of a request
+        # the server has already answered is a dedup hit, not a re-run.
+        config = {"preset": "smoke"}
+        plain = GenerateRequest(count=2, nodes=40, seed=3).to_dict()
+        traced = GenerateRequest(count=2, nodes=40, seed=3,
+                                 trace=True).to_dict()
+        assert request_key(config, plain) == request_key(config, traced)
+
     def test_request_key_depends_on_config_and_request(self):
         request = GenerateRequest(seed=3).to_dict()
         assert request_key({"a": 1}, request) != request_key({"a": 2}, request)
@@ -327,6 +336,97 @@ class TestServeEndToEnd:
             assert "bad request" in payload["error"]
         assert client.healthy()
         assert client.stats()["workers_alive"] == 2
+
+
+class TestObservabilityEndpoints:
+    """The tentpole's serve surface: /metrics, per-job traces, and the
+    registry-backed worker/throughput numbers in /stats."""
+
+    def test_metrics_is_prometheus_text(self, client):
+        import http.client as http_client
+
+        # At least one job has finished by the time this runs (module
+        # ordering), so the lifetime counters are live, not zero stubs.
+        client.generate(GenerateRequest(count=1, nodes=40, seed=81))
+        conn = http_client.HTTPConnection(client.host, client.port,
+                                          timeout=30)
+        try:
+            conn.request("GET", "/metrics")
+            response = conn.getresponse()
+            text = response.read().decode()
+        finally:
+            conn.close()
+        assert response.status == 200
+        assert response.getheader("Content-Type").startswith("text/plain")
+        assert "# TYPE repro_serve_jobs_dispatched_total counter" in text
+        assert "# TYPE repro_serve_jobs_done_total counter" in text
+        assert "# TYPE repro_serve_queue_depth gauge" in text
+        assert "# TYPE repro_serve_job_seconds histogram" in text
+        assert 'repro_serve_job_seconds_bucket{le="+Inf"}' in text
+        # The same numbers through the typed client helper.
+        assert client.metrics() == text
+
+    def test_traced_job_serves_perfetto_json(self, client):
+        accepted = client.submit(GenerateRequest(
+            count=2, nodes=40, seed=82, trace=True,
+        ))
+        assert not accepted["deduplicated"]
+        client.wait(accepted["job_id"])
+        trace = client.trace(accepted["job_id"])
+
+        events = trace["traceEvents"]
+        json.dumps(trace)  # fully serializable
+        complete = [e for e in events if e.get("ph") == "X"]
+        assert complete, "no complete events in the worker trace"
+        for event in complete:
+            assert event["ts"] >= 0 and event["dur"] >= 0
+        names = {e["name"] for e in complete}
+        assert "session.item" in names
+        assert "engine.refine" in names
+        process = [e for e in events
+                   if e.get("ph") == "M" and e["name"] == "process_name"]
+        assert process[0]["args"]["name"].startswith("repro-worker-")
+        assert trace["otherData"]["job_id"] == accepted["job_id"]
+
+    def test_untraced_job_has_no_trace(self, client):
+        accepted = client.submit(GenerateRequest(count=1, nodes=40, seed=83))
+        client.wait(accepted["job_id"])
+        with pytest.raises(ServeError, match="404"):
+            client.trace(accepted["job_id"])
+
+    def test_traced_resubmit_is_still_a_dedup_hit(self, client):
+        # trace is not request identity: the traced duplicate of the
+        # job above is answered from cache -- and therefore (documented
+        # semantics) records no trace, because no worker ran.
+        duplicate = client.submit(GenerateRequest(
+            count=1, nodes=40, seed=83, trace=True,
+        ))
+        assert duplicate["deduplicated"]
+        with pytest.raises(ServeError, match="404"):
+            client.trace(duplicate["job_id"])
+
+    def test_stats_exposes_worker_and_throughput_accounting(self, client):
+        stats = client.stats()
+        states = stats["worker_states"]
+        assert set(states) == {"0", "1"}
+        assert stats["workers_busy"] + stats["workers_idle"] == 2
+        assert stats["workers_busy"] == 0  # nothing in flight right now
+
+        jobs = stats["jobs"]
+        assert jobs["done"] >= 1
+        assert jobs["dispatched"] >= jobs["done"]
+        assert jobs["records"] >= 1
+        assert 0.0 <= stats["dedup_rate"] <= 1.0
+
+        throughput = stats["throughput"]
+        assert throughput["p50_seconds"] > 0
+        assert throughput["p99_seconds"] >= throughput["p50_seconds"]
+        assert throughput["jobs_per_minute"] > 0
+
+    def test_top_frame_shows_throughput_line(self, client):
+        frame = render_frame(client.stats(), client.jobs())
+        assert "jobs/min" in frame
+        assert "dedup rate" in frame
 
 
 # ---------------------------------------------------------------------------
