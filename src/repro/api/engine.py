@@ -50,6 +50,7 @@ from ..mcts import (
 )
 from ..obs import span
 from ..postprocess import refine_to_valid
+from ..tiers import EXACT_TIER
 
 
 @dataclass
@@ -195,6 +196,7 @@ class SynCircuit:
         self,
         sizes: list[int],
         rngs: list[np.random.Generator],
+        tier: str = EXACT_TIER,
     ) -> tuple[list, float]:
         """Phase 1 for many items at once.
 
@@ -202,17 +204,20 @@ class SynCircuit:
         the :class:`~repro.diffusion.sample.SampleResult` for item ``k``
         (``None`` for every item in the ``use_diffusion=False``
         ablation, whose random phase 1 stays inside ``generate_one`` to
-        preserve its rng stream).  Equal-size items share each denoiser
-        forward through :func:`repro.diffusion.sample_batch`, and every
-        sample is bit-identical to what ``generate_one`` would have
-        drawn item by item from the same generators.
+        preserve its rng stream).  In the default ``exact`` tier,
+        equal-size items share each denoiser forward through
+        :func:`repro.diffusion.sample_batch` and every sample is
+        bit-identical to what ``generate_one`` would have drawn item by
+        item from the same generators; the ``fast`` tier fuses the
+        forwards across *all* items (tolerance-gated, see
+        :mod:`repro.tiers`).
         """
         self._check_fitted()
         if not self.config.use_diffusion or not sizes:
             return [None] * len(sizes), 0.0
         assert self.trained is not None
         started = time.perf_counter()
-        samples = sample_batch(self.trained, sizes, rngs)
+        samples = sample_batch(self.trained, sizes, rngs, tier=tier)
         elapsed = time.perf_counter() - started
         return samples, elapsed / len(sizes)
 
@@ -224,6 +229,7 @@ class SynCircuit:
         name: str = "synthetic",
         mcts_config: MCTSConfig | None = None,
         presampled: tuple | None = None,
+        evaluator=None,
     ) -> GenerationRecord:
         """Run the three phases for a single circuit.
 
@@ -234,7 +240,9 @@ class SynCircuit:
         ``(SampleResult, sample_seconds)`` pair from :meth:`presample`:
         phase 1 is then skipped here (the batch already consumed this
         item's rng draws for it) and the shared forward's per-item wall
-        share is recorded as the ``sample`` timing.
+        share is recorded as the ``sample`` timing.  ``evaluator``
+        injects the Phase 3 cone evaluator (the fast tier's per-circuit
+        :class:`~repro.mcts.crossq.CrossCircuitQueue` view).
         """
         self._check_fitted()
         timings: dict[str, float] = {}
@@ -276,6 +284,7 @@ class SynCircuit:
                 g_val,
                 reward_fn=self._reward_fn,
                 config=mcts_config or self.config.mcts,
+                evaluator=evaluator,
             )
             g_opt = report.graph
             g_opt.name = f"{name}_opt"

@@ -61,6 +61,13 @@ class GenerateRequest:
     the serve layer stores it next to the result artifact and exposes
     it at ``GET /jobs/<id>/trace`` as Perfetto-loadable Chrome
     trace-event JSON.
+    ``tier`` selects the numeric contract (:mod:`repro.tiers`):
+    ``None`` keeps the session config's tier, ``"exact"`` the
+    byte-stable default, ``"fast"`` the tolerance-gated throughput mode
+    (fused cross-graph denoiser GEMMs, estimate-driven search
+    acceptance, cross-circuit stimulus sharing).  The field is part of
+    the serve layer's dedup ``request_key``, so exact and fast results
+    never alias in the artifact store.
     """
 
     count: int = 1
@@ -73,6 +80,7 @@ class GenerateRequest:
     incremental: bool | None = None
     sanitize: bool = False
     trace: bool = False
+    tier: str | None = None
 
     def to_dict(self) -> dict:
         return {
@@ -86,6 +94,7 @@ class GenerateRequest:
             "incremental": self.incremental,
             "sanitize": self.sanitize,
             "trace": self.trace,
+            "tier": self.tier,
         }
 
     @classmethod

@@ -34,6 +34,7 @@ import numpy as np
 
 from ..ir import CircuitGraph
 from ..obs import span
+from ..tiers import EXACT_TIER, FAST_TIER, check_tier
 from .engine import GenerationRecord, SynCircuit, SynCircuitConfig
 from .presets import resolve_preset
 from .requests import (
@@ -184,6 +185,25 @@ class Session:
             return [int(rng.integers(nodes[0], nodes[1] + 1)) for rng in rngs]
         return [int(nodes)] * len(rngs)
 
+    def _resolve_tier(self, request: GenerateRequest) -> str:
+        """The numeric tier this request runs under (see
+        :mod:`repro.tiers`): the request's ``tier`` when set, else the
+        session config's ``MCTSConfig.tier``."""
+        tier = request.tier if request.tier is not None else getattr(
+            self.config.mcts, "tier", EXACT_TIER
+        )
+        return check_tier(tier)
+
+    def _request_queue(self, request: GenerateRequest):
+        """The request-scoped cross-circuit stimulus pool (fast tier
+        only): candidate cones from every item of the batch share one
+        packed-stimulus word pool, with per-circuit evaluator state."""
+        if self._resolve_tier(request) != FAST_TIER:
+            return None
+        from ..mcts import CrossCircuitQueue
+
+        return CrossCircuitQueue(seed=request.seed)
+
     def _prepare_items(self, request: GenerateRequest):
         """Per-item rngs, node counts, and batched phase-1 samples.
 
@@ -196,8 +216,9 @@ class Session:
         """
         rngs = _item_rngs(request.seed, request.count)
         sizes = self._draw_sizes(request, rngs)
-        with span("session.presample", count=request.count):
-            samples, per_item = self.engine.presample(sizes, rngs)
+        tier = self._resolve_tier(request)
+        with span("session.presample", count=request.count, tier=tier):
+            samples, per_item = self.engine.presample(sizes, rngs, tier=tier)
         return rngs, sizes, [(sample, per_item) for sample in samples]
 
     def _generate_item(
@@ -207,6 +228,7 @@ class Session:
         request: GenerateRequest,
         num_nodes: int,
         presampled: tuple | None = None,
+        queue=None,
     ) -> GenerationRecord:
         mcts_config = None
         overrides = {}
@@ -215,6 +237,9 @@ class Session:
             overrides["incremental"] = request.incremental
         if request.sanitize and not self.config.mcts.sanitize:
             overrides["sanitize"] = True
+        tier = self._resolve_tier(request)
+        if tier != self.config.mcts.tier:
+            overrides["tier"] = tier
         if overrides:
             # Request-scoped copy: workers share the session config.
             import dataclasses
@@ -227,6 +252,9 @@ class Session:
                 name=f"{request.name_prefix}{index}",
                 mcts_config=mcts_config,
                 presampled=presampled,
+                evaluator=(
+                    queue.evaluator(index) if queue is not None else None
+                ),
             )
 
     def _finalize(
@@ -257,8 +285,11 @@ class Session:
         started = time.perf_counter()
         with span("session.generate", count=request.count, seed=request.seed):
             rngs, sizes, samples = self._prepare_items(request)
+            queue = self._request_queue(request)
             records = [
-                self._generate_item(k, rngs[k], request, sizes[k], samples[k])
+                self._generate_item(
+                    k, rngs[k], request, sizes[k], samples[k], queue
+                )
                 for k in range(request.count)
             ]
             return self._finalize(records, request, started)
@@ -307,6 +338,7 @@ class Session:
             count=request.count, workers=request.workers, seed=request.seed,
         ):
             rngs, sizes, samples = self._prepare_items(request)
+            queue = self._request_queue(request)
             with ThreadPoolExecutor(max_workers=request.workers) as pool:
                 # ThreadPoolExecutor threads do not inherit ContextVars;
                 # each item runs in a copy of the submitting context so
@@ -316,7 +348,7 @@ class Session:
                     pool.submit(
                         contextvars.copy_context().run,
                         self._generate_item,
-                        k, rngs[k], request, sizes[k], samples[k],
+                        k, rngs[k], request, sizes[k], samples[k], queue,
                     )
                     for k in range(request.count)
                 ]
@@ -346,12 +378,14 @@ class Session:
         # output bit relative to generate()/generate_batch().
         rngs = _item_rngs(request.seed, request.count)
         sizes = self._draw_sizes(request, rngs)
+        tier = self._resolve_tier(request)
+        queue = self._request_queue(request)
         chunk = max(request.workers, 1) * 4
 
         def chunk_items(lo: int):
             hi = min(lo + chunk, request.count)
             samples, per_item = self.engine.presample(
-                sizes[lo:hi], rngs[lo:hi]
+                sizes[lo:hi], rngs[lo:hi], tier=tier
             )
             return [
                 (k, (samples[k - lo], per_item))
@@ -363,7 +397,7 @@ class Session:
                 for k, presampled in chunk_items(lo):
                     try:
                         yield self._generate_item(
-                            k, rngs[k], request, sizes[k], presampled
+                            k, rngs[k], request, sizes[k], presampled, queue
                         )
                     except Exception as exc:
                         raise BatchItemError(
@@ -377,7 +411,7 @@ class Session:
                     pool.submit(
                         contextvars.copy_context().run,
                         self._generate_item,
-                        k, rngs[k], request, sizes[k], presampled,
+                        k, rngs[k], request, sizes[k], presampled, queue,
                     )
                     for k, presampled in items
                 ]

@@ -26,8 +26,17 @@ deliberately spans the whole stack:
 * ``diffusion.sample`` -- Phase 1 reverse denoising
 * ``diffusion.sample_batch`` -- several samples through shared denoiser
   forwards (the ``generate_batch`` phase-1 path)
+* ``diffusion.fused_gemm`` -- a heterogeneous batch through the fast
+  tier's fused cross-graph GEMMs (one tall matmul per layer per step)
+* ``mcts.cross_circuit_queue`` -- candidate cones from *different*
+  circuits evaluated through one shared packed-stimulus pool (the fast
+  tier's cross-circuit batching)
 * ``metrics.structural`` -- Table II structural-similarity metrics
 * ``e2e.generate``     -- one full Session.generate (all three phases)
+* ``e2e.generate_batch`` -- a batch-8 mixed-size generation in the
+  ``exact`` tier (the throughput reference workload)
+* ``e2e.generate_fast`` -- the identical workload in the ``fast`` tier;
+  its ``speedup_vs_exact`` meta is the throughput-mode headline number
 """
 
 from __future__ import annotations
@@ -324,6 +333,43 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
         sample_batch(trained, [48, 48, 48, 48], rngs)
         return 4
 
+    # Heterogeneous sizes on purpose: the exact tier degrades to solo
+    # size-groups on this workload, the fast tier fuses all eight items
+    # into one tall GEMM per layer per step.
+    fused_sizes = [42, 44, 46, 48, 50, 52, 54, 56]
+
+    def diffusion_fused_run(trained):
+        from ..diffusion import sample_batch
+        from ..tiers import FAST_TIER
+
+        rngs = [
+            np.random.default_rng(child)
+            for child in np.random.SeedSequence(seed).spawn(len(fused_sizes))
+        ]
+        sample_batch(trained, list(fused_sizes), rngs, tier=FAST_TIER)
+        return len(fused_sizes)
+
+    # -- cross-circuit candidate batching --------------------------------
+    def crossq_setup():
+        from ..mcts.crossq import CrossCircuitQueue
+
+        items = []
+        for key, name in enumerate(("alu", "uart_tx")):
+            graph = load_design(name)
+            register = graph.registers()[0]
+            rng = np.random.default_rng(seed + key)
+            for candidate in _swap_candidates(graph, register, rng, 12):
+                items.append((key, candidate, register))
+        # The queue (and so its shared stimulus pool) lives in setup,
+        # mirroring cone.batch_eval: the measured path is evaluation.
+        queue = CrossCircuitQueue(num_cycles=SIM_CYCLES, seed=seed)
+        return queue, items
+
+    def crossq_run(state):
+        queue, items = state
+        queue.evaluate(items)
+        return len(items)
+
     # -- structural metrics ---------------------------------------------
     def metrics_setup():
         reference = reference_designs()["core_like"]
@@ -353,6 +399,27 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
             GenerateRequest(count=1, nodes=44, optimize=True, seed=seed)
         )
         return None
+
+    # The two-tier throughput workload: one batch-8 mixed-size request,
+    # run once per tier.  The family (nodes 68-84, seed 7) is one the
+    # drift gate in tests/test_tiers.py pins, so the speedup and the
+    # quality bound are measured on the same workload.  The seed is
+    # deliberately not the suite seed: the family is curated.
+    def _e2e_batch(session, tier):
+        from ..api import GenerateRequest
+
+        session.generate(
+            GenerateRequest(
+                count=8, nodes=(68, 84), optimize=True, seed=7, tier=tier
+            )
+        )
+        return 8
+
+    def e2e_batch_exact_run(session):
+        return _e2e_batch(session, "exact")
+
+    def e2e_batch_fast_run(session):
+        return _e2e_batch(session, "fast")
 
     benchmarks = [
         Benchmark("simulate.scalar", sim_setup, sim_scalar,
@@ -384,9 +451,21 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
                         "num_simulations": config.mcts.num_simulations,
                         "incremental": True, "sanitize": True}),
         Benchmark("obs.overhead", obs_setup, obs_run, meta=obs_meta),
+        Benchmark("mcts.cross_circuit_queue", crossq_setup, crossq_run,
+                  meta={"designs": ["alu", "uart_tx"], "cycles": SIM_CYCLES,
+                        "note": "one shared packed-stimulus pool across "
+                                "circuits"}),
         Benchmark("metrics.structural", metrics_setup, metrics_run),
         Benchmark("e2e.generate", e2e_setup, e2e_run, repeats=2,
                   meta={"nodes": 44, "optimize": True}),
+        Benchmark("e2e.generate_batch", e2e_setup, e2e_batch_exact_run,
+                  repeats=3,
+                  meta={"nodes": [68, 84], "count": 8, "seed": 7,
+                        "optimize": True, "tier": "exact"}),
+        Benchmark("e2e.generate_fast", e2e_setup, e2e_batch_fast_run,
+                  repeats=3,
+                  meta={"nodes": [68, 84], "count": 8, "seed": 7,
+                        "optimize": True, "tier": "fast"}),
     ]
     if config.use_diffusion:
         benchmarks.insert(
@@ -402,6 +481,17 @@ def build_suite(config, seed: int = 0) -> list[Benchmark]:
                       meta={"nodes": 48, "batch": 4,
                             "epochs": config.diffusion.epochs,
                             "note": "shared denoiser forwards"}),
+        )
+        benchmarks.insert(
+            12,
+            Benchmark("diffusion.fused_gemm", diffusion_setup,
+                      diffusion_fused_run,
+                      meta={"nodes": list(fused_sizes),
+                            "batch": len(fused_sizes),
+                            "epochs": config.diffusion.epochs,
+                            "tier": "fast",
+                            "note": "fused cross-graph GEMMs, "
+                                    "heterogeneous sizes"}),
         )
     return benchmarks
 
@@ -452,7 +542,9 @@ def run_suite(
     # Per-candidate cost of the batched evaluation kernels: the number
     # the CI bench-smoke job gates (compile/patch time must stay flat
     # per candidate, whatever the batch size of the run).
-    for name in ("incr.batch_queue", "cone.batch_eval"):
+    for name in (
+        "incr.batch_queue", "cone.batch_eval", "mcts.cross_circuit_queue"
+    ):
         record = by_name.get(name)
         if record and record.ops:
             record.meta["ms_per_candidate"] = round(
@@ -476,10 +568,23 @@ def run_suite(
         traced.meta["overhead_vs_untraced"] = round(
             traced.wall_best / untraced.wall_best, 2
         )
-    batch = by_name.get("diffusion.sample_batch")
-    if batch and batch.ops:
-        batch.meta["ms_per_graph"] = round(
-            batch.wall_best * 1000.0 / batch.ops, 4
+    for name in (
+        "diffusion.sample_batch", "diffusion.fused_gemm",
+        "e2e.generate_batch", "e2e.generate_fast",
+    ):
+        record = by_name.get(name)
+        if record and record.ops:
+            record.meta["ms_per_graph"] = round(
+                record.wall_best * 1000.0 / record.ops, 4
+            )
+    exact_batch = by_name.get("e2e.generate_batch")
+    fast_batch = by_name.get("e2e.generate_fast")
+    if exact_batch and fast_batch and fast_batch.wall_best > 0:
+        # The throughput-mode headline: identical batch-8 workload, fast
+        # tier vs exact tier (quality drift on this same family is
+        # bounded separately by the tier-1 drift gate).
+        fast_batch.meta["speedup_vs_exact"] = round(
+            exact_batch.wall_best / fast_batch.wall_best, 2
         )
 
     return BenchReport.stamped(

@@ -199,6 +199,7 @@ def _cmd_generate(args: argparse.Namespace) -> int:
         seed=args.seed,
         workers=args.workers,
         synth_period=args.period,
+        tier=args.tier,
     ))
 
     out_dir = pathlib.Path(args.output)
@@ -282,6 +283,8 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     }
     if args.synth_period is not None:
         request["synth_period"] = args.synth_period
+    if args.tier is not None:
+        request["tier"] = args.tier
     accepted = client.submit(request, dedupe=not args.no_dedupe)
     print(f"job {accepted['job_id']}: {accepted['state']}"
           + (" (deduplicated)" if accepted["deduplicated"] else ""))
@@ -549,6 +552,12 @@ def build_parser() -> argparse.ArgumentParser:
              "from-scratch recomputation (bit-identical output; raises "
              "on any invariant violation)",
     )
+    p_gen.add_argument(
+        "--tier", choices=["exact", "fast"], default=None,
+        help="numeric contract: exact (byte-stable goldens, default) or "
+             "fast (fused cross-graph GEMMs + estimate-driven search, "
+             "tolerance-gated; see repro.tiers)",
+    )
     p_gen.add_argument("-o", "--output", default="generated")
     p_gen.set_defaults(func=_cmd_generate)
 
@@ -586,6 +595,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--seed", type=int, default=0)
     p_submit.add_argument("--synth-period", type=float, default=None)
     p_submit.add_argument("--no-optimize", action="store_true")
+    p_submit.add_argument(
+        "--tier", choices=["exact", "fast"], default=None,
+        help="numeric contract for the job (part of the dedup key)",
+    )
     p_submit.add_argument(
         "--no-dedupe", action="store_true",
         help="force a worker run even if the identical request is cached",

@@ -37,7 +37,7 @@ class AttributeSampler:
     the former.
     """
 
-    def __init__(self, graphs: list[CircuitGraph]):
+    def __init__(self, graphs: list[CircuitGraph]) -> None:
         pairs: list[tuple[int, int]] = []
         from ..ir import type_index
 

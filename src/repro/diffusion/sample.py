@@ -12,9 +12,12 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..obs import span
+from ..obs import get_logger, registry, span
+from ..tiers import EXACT_TIER, FAST_TIER, check_tier
 from .model import DenoisingNetwork
 from .train import TrainedDiffusion
+
+logger = get_logger(__name__)
 
 
 @dataclass
@@ -85,11 +88,12 @@ def sample_batch(
     trained: TrainedDiffusion,
     sizes: list[int],
     rngs: list[np.random.Generator],
+    tier: str = EXACT_TIER,
 ) -> list[SampleResult]:
     """Reverse-sample many graphs, sharing denoiser forwards.
 
-    Items are grouped by node count and each group walks the reverse
-    process in lockstep: per step, one
+    In the ``exact`` tier (the default) items are grouped by node count
+    and each group walks the reverse process in lockstep: per step, one
     :meth:`~repro.diffusion.model.DenoisingNetwork.predict_full_batch`
     forward scores the whole group (row-stacked GEMMs), while every
     stochastic draw still comes from the item's own generator in the
@@ -97,8 +101,22 @@ def sample_batch(
     result list is therefore element-wise bit-identical to calling
     :func:`sample_initial_graph` per item -- the property the session
     API's sequential/parallel equivalence guarantee rests on -- at a
-    fraction of the Python and BLAS dispatch overhead.
+    fraction of the Python and BLAS dispatch overhead.  The flip side:
+    group-by-size sharing degrades to solo-sized forwards as sizes grow
+    heterogeneous, which the DEBUG group histogram and the
+    ``diffusion_batch_fill_ratio`` gauge make observable.
+
+    The ``fast`` tier drops the grouping entirely:
+    :meth:`~repro.diffusion.model.DenoisingNetwork.predict_full_fused`
+    packs *all* items -- heterogeneous sizes included -- into one tall
+    GEMM per layer, with per-step decoder constants precomputed once
+    for the whole walk (the across-steps half of the fusion).  Each
+    item's rng is still consumed per item and in walk order, so the
+    only divergence from the exact tier is GEMM low-order bits flipping
+    threshold draws; the drift that induces is bounded by the tier's
+    tolerance gate (:mod:`repro.tiers`).
     """
+    check_tier(tier)
     if len(sizes) != len(rngs):
         raise ValueError("sizes and rngs must have equal length")
     # Attribute sampling consumes each item's rng first, exactly like
@@ -111,16 +129,120 @@ def sample_batch(
     for index, n in enumerate(sizes):
         groups.setdefault(int(n), []).append(index)
 
+    # GEMM-sharing fill: fraction of the batch's pair rows a perfectly
+    # fused forward would co-schedule that this tier actually does.
+    # Exact tier shares within size groups only; fast tier fuses all.
+    total = len(sizes)
+    fill = (
+        1.0 if tier == FAST_TIER or total == 0
+        else sum(len(g) ** 2 for g in groups.values()) / total ** 2
+    )
+    if fill < 1.0:
+        logger.debug(
+            "[diffusion] exact-tier sample_batch degrades to %d "
+            "size-groups (histogram %s): batch_fill_ratio %.3f",
+            len(groups),
+            {n: len(g) for n, g in sorted(groups.items())},
+            fill,
+        )
+    registry().gauge(
+        "diffusion_batch_fill_ratio",
+        help="GEMM-sharing fill of the last diffusion sample_batch "
+        "(1.0 = fully fused forwards)",
+    ).set(fill)
+
     model = trained.model
     steps = trained.schedule.num_steps
     with span(
         "diffusion.sample_batch",
-        items=len(sizes), groups=len(groups), steps=steps,
+        items=len(sizes), groups=len(groups), steps=steps, tier=tier,
     ):
-        _sample_groups(
-            trained, model, steps, groups, attrs, rngs, results
-        )
+        if tier == FAST_TIER:
+            _sample_fused(trained, model, steps, sizes, attrs, rngs, results)
+        else:
+            _sample_groups(
+                trained, model, steps, groups, attrs, rngs, results
+            )
     return results  # type: ignore[return-value]
+
+
+def _sample_fused(
+    trained: TrainedDiffusion,
+    model: DenoisingNetwork,
+    steps: int,
+    sizes: list[int],
+    attrs: list[tuple[np.ndarray, np.ndarray]],
+    rngs: list[np.random.Generator],
+    results: list[SampleResult | None],
+) -> None:
+    """Fast-tier reverse walk: every item in one fused forward per step."""
+    from .features import width_bucket
+    from .schedule import NoiseSchedule
+
+    distinct = sorted({int(n) for n in sizes})
+    schedules = {
+        n: NoiseSchedule.cosine(steps, trained.target_density(n))
+        for n in distinct
+    }
+    biases = {n: trained.calibration_bias(n) for n in distinct}
+    types = [np.asarray(attrs[k][0], dtype=np.int64) for k in range(len(sizes))]
+    widths = [np.asarray(attrs[k][1], dtype=np.int64) for k in range(len(sizes))]
+    buckets = [
+        np.array([width_bucket(int(w)) for w in row], dtype=np.int64)
+        for row in widths
+    ]
+    # Same per-item rng consumption order as the exact path: attributes
+    # (already drawn), then the prior, then one draw per step.
+    a_t = [
+        schedules[int(n)].prior_sample((int(n), int(n)), rngs[k])
+        for k, n in enumerate(sizes)
+    ]
+    p_x0 = [
+        np.full((int(n), int(n)), schedules[int(n)].noise_density)
+        for n in sizes
+    ]
+    # The forward is fused across everything; so is the posterior: all
+    # items share one padded (B, Nmax, Nmax) stack per step (the cosine
+    # beta/alpha-bar depend only on the step count, so only the
+    # per-item stationary density varies -- it broadcasts).  Each
+    # item's rng draw stays private and in order.
+    from .schedule import fused_posterior
+
+    count = len(sizes)
+    nmax = max(int(n) for n in sizes)
+    density = np.array(
+        [schedules[int(n)].noise_density for n in sizes]
+    ).reshape(count, 1, 1)
+    shared = schedules[int(sizes[0])]  # beta/alpha_bar: size-invariant
+    a_pad = np.zeros((count, nmax, nmax))
+    p_pad = np.zeros((count, nmax, nmax))
+    consts = model.fused_step_constants(steps)
+    for t in range(steps, 0, -1):
+        items = [
+            (types[k], buckets[k], a_t[k], biases[int(sizes[k])])
+            for k in range(len(sizes))
+        ]
+        p_x0 = model.predict_full_fused(items, t / steps, consts=consts[t])
+        if t > 1:
+            for k, n in enumerate(sizes):
+                a_pad[k, :n, :n] = a_t[k]
+                p_pad[k, :n, :n] = p_x0[k]
+            p_prev = fused_posterior(
+                a_pad, p_pad, t,
+                shared.beta[t], shared.alpha_bar[t - 1], density,
+            )
+            for k, n in enumerate(sizes):
+                a_t[k] = rngs[k].random((int(n), int(n))) < p_prev[k, :n, :n]
+        else:
+            for k, n in enumerate(sizes):
+                a_t[k] = rngs[k].random((int(n), int(n))) < p_x0[k]
+    for k in range(len(sizes)):
+        results[k] = SampleResult(
+            adjacency=a_t[k].astype(bool),
+            edge_probability=p_x0[k],
+            types=types[k],
+            widths=widths[k],
+        )
 
 
 def _sample_groups(

@@ -97,10 +97,54 @@ class NoiseSchedule:
             (1, 1): ab_prev + (1.0 - ab_prev) * m1,
         }
         p_x0 = np.clip(p_x0, 1e-9, 1.0 - 1e-9)
-        unnorm = {}
+        unnorm: dict[int, np.ndarray] = {}
         for k in (0, 1):
             given_x0_0 = cum[(0, k)] * trans_into_xt[k]
             given_x0_1 = cum[(1, k)] * trans_into_xt[k]
             unnorm[k] = (1.0 - p_x0) * given_x0_0 + p_x0 * given_x0_1
         total = unnorm[0] + unnorm[1]
         return unnorm[1] / np.maximum(total, 1e-30)
+
+
+def fused_posterior(
+    a_t: np.ndarray,
+    p_x0: np.ndarray,
+    t: int,
+    beta_t: float,
+    ab_prev: float,
+    noise_density: np.ndarray,
+) -> np.ndarray:
+    """D3PM posterior over a padded cross-graph stack (fast tier).
+
+    Same marginalisation as
+    :meth:`NoiseSchedule.posterior_probability`, but over ``(B, N, N)``
+    stacks whose items may follow *different* stationary densities:
+    ``noise_density`` broadcasts per item (shape ``(B, 1, 1)``).  The
+    cosine ``beta_t`` / ``ab_prev`` depend only on the step count, so
+    they stay scalars.  Fast tier only -- the exact tier keeps the
+    per-schedule method so its operation order (and so its low-order
+    bits) never changes.
+    """
+    m1 = noise_density
+    m0 = 1.0 - m1
+    a_t = a_t.astype(np.float64)
+    noise_into_xt = m0 * (1.0 - a_t) + m1 * a_t
+    trans_into_xt = {
+        0: (1.0 - beta_t) * (1.0 - a_t) + beta_t * noise_into_xt,
+        1: (1.0 - beta_t) * a_t + beta_t * noise_into_xt,
+    }
+    cum = {
+        (0, 0): ab_prev + (1.0 - ab_prev) * m0,
+        (0, 1): (1.0 - ab_prev) * m1,
+        (1, 0): (1.0 - ab_prev) * m0,
+        (1, 1): ab_prev + (1.0 - ab_prev) * m1,
+    }
+    p_x0 = np.clip(p_x0, 1e-9, 1.0 - 1e-9)
+    unnorm: dict[int, np.ndarray] = {}
+    for k in (0, 1):
+        unnorm[k] = (
+            (1.0 - p_x0) * (cum[(0, k)] * trans_into_xt[k])
+            + p_x0 * (cum[(1, k)] * trans_into_xt[k])
+        )
+    total = unnorm[0] + unnorm[1]
+    return unnorm[1] / np.maximum(total, 1e-30)

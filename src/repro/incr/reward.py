@@ -102,6 +102,7 @@ class IncrementalReward:
         library: CellLibrary = DEFAULT_LIBRARY,
         strength: int = 1,
         delta_analysis: bool = True,
+        calibrate: bool = True,
     ):
         self.clock_period = clock_period
         self.library = library
@@ -110,6 +111,14 @@ class IncrementalReward:
         #: delta mode (baseline captured at each rebase).  ``False``
         #: keeps the full-fixpoint reference path.
         self.delta_analysis = delta_analysis
+        #: Anchor each rebase to the exact post-synthesis PCS (one
+        #: ``synthesize()`` per rebase).  ``False`` -- the fast tier --
+        #: skips that synthesis and scores on the raw redundancy
+        #: estimate (``_scale`` stays 1.0).  The scale is a uniform
+        #: multiplier, so *within-cone* comparisons (what the search
+        #: ranks) are unaffected; only the absolute value stops being a
+        #: calibrated PCS.
+        self.calibrate = calibrate
         self.calls = 0
         self.patches = 0
         self.rebases = 0
@@ -156,7 +165,7 @@ class IncrementalReward:
     def _rebase(
         self, graph: CircuitGraph, exact_pcs: float | None
     ) -> None:
-        if exact_pcs is None:
+        if exact_pcs is None and self.calibrate:
             exact_pcs = synthesize(
                 graph, clock_period=self.clock_period, strength=self.strength,
                 library=self.library, check=False, run_timing=False,
@@ -198,6 +207,12 @@ class IncrementalReward:
             # only over each edit's affected cone.
             self._analyzer.capture_baseline(graph, base_report)
         estimate = self._area_of(base_report)
+        if exact_pcs is None:
+            # Uncalibrated (fast-tier) rebase: the base value IS the
+            # estimate, so the scale folds to exactly 1.0 and the per-
+            # rebase synthesize() is never paid.
+            exact_pcs = estimate / max(graph.num_nodes, 1)
+            self.base_pcs = exact_pcs
         self._scale = exact_pcs * graph.num_nodes / estimate if estimate else 1.0
 
     def _absorb_analysis_counters(self) -> None:

@@ -69,6 +69,10 @@ SANITIZER_RULES = tuple(register(Rule(
     ("S007", "delta-analysis-coherence",
      "RedundancyAnalyzer's dirty-cone delta report must match the full "
      "fixpoint over every node."),
+    ("S008", "cross-circuit-queue-isolation",
+     "A CrossCircuitQueue signature (shared stimulus pool) must equal a "
+     "solo per-circuit re-derivation: no stimulus or state may leak "
+     "across circuit boundaries."),
 ))
 
 
@@ -513,6 +517,45 @@ class Sanitizer:
                 "delta-mode redundancy report diverges from the full "
                 f"fixpoint in {', '.join(mismatches)}",
                 nodes=bad[:16], **prov,
+            )
+
+
+    # -- S008 ------------------------------------------------------------
+    def check_cross_circuit(
+        self,
+        evaluator: Any,
+        graph: "CircuitGraph",
+        register: int,
+        signature: Any,
+    ) -> None:
+        """S008: a cross-circuit queue signature equals a fresh solo
+        evaluator's -- the shared stimulus pool and the per-circuit
+        delta/simulator caches must never mix state across circuits."""
+        if not self.wants("S008"):
+            return
+        self.checks_run += 1
+        from ..mcts.reward import ConeBatchEvaluator
+
+        solo = ConeBatchEvaluator(
+            num_cycles=evaluator.num_cycles, seed=evaluator.seed
+        )
+        # The reference derivation runs outside the sanitizing context:
+        # its own delta/simulator checkpoints are not under audit here
+        # and must not re-enter the sanitizer.
+        token = _ACTIVE.set(None)
+        try:
+            reference = solo.signature(graph, register)
+        finally:
+            _ACTIVE.reset(token)
+        if signature.words != reference.words:
+            prov = _graph_provenance(graph)
+            prov["circuit_key"] = getattr(evaluator, "circuit_key", None)
+            self._fail(
+                "S008",
+                f"cross-circuit signature of register {register} diverges "
+                "from a solo re-derivation (stimulus or state leaked "
+                "across the circuit boundary)",
+                nodes=[register], **prov,
             )
 
 

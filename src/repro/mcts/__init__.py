@@ -2,6 +2,7 @@
 
 from .actions import Swap, SwapIndex, apply_swap, is_applicable, sample_swaps
 from .cones import Cone, all_cones, cone_subcircuit, driving_cone
+from .crossq import CrossCircuitQueue
 from .discriminator import (
     PCSDiscriminator,
     collect_training_set,
@@ -33,6 +34,7 @@ __all__ = [
     "Cone",
     "ConeBatchEvaluator",
     "ConeSignature",
+    "CrossCircuitQueue",
     "graph_features",
     "ConeSearchResult",
     "MCTSConfig",

@@ -1,0 +1,129 @@
+"""Cross-circuit candidate batching for the fast tier.
+
+``generate_batch`` runs one MCTS search per circuit; in the exact tier
+each search owns a private :class:`~repro.mcts.reward.ConeBatchEvaluator`
+whose packed stimulus words are derived lazily per ``(marker, bit)``.
+Markers are original-graph node ids, and every circuit in a batch is
+sampled at similar sizes, so the searches keep re-deriving the *same*
+word keys -- per circuit, from scratch.
+
+:class:`CrossCircuitQueue` hoists that pool: one shared
+``(marker, bit) -> word`` dictionary serves every circuit of a batch,
+so each stimulus word is derived exactly once per batch instead of once
+per circuit.  This is safe to share because
+:func:`~repro.synth.simulate.packed_stimulus_word` is a pure function
+of ``(seed, marker, num_cycles, bit)`` -- a served word is bit-identical
+to the word a solo evaluator would derive.  What is *not* safe to share
+is the evaluator's patch state: ``_cone_deltas`` / ``_cone_sims`` are
+keyed by register id, and register ids collide across circuits.  The
+queue therefore hands each circuit its own
+:class:`_SharedStimulusEvaluator` -- shared words, private delta and
+simulator caches.
+
+That isolation boundary is an auditable invariant: under
+``REPRO_SANITIZE`` (or ``sanitize=True``), every signature produced
+through the queue is re-derived with a fresh solo evaluator and
+compared word for word (rule ``S008`` in :mod:`repro.lint.sanitize`).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Hashable
+
+from ..ir import CircuitGraph
+from ..lint.sanitize import current_sanitizer
+from ..synth.simulate import packed_stimulus_word
+from .reward import ConeBatchEvaluator, ConeSignature
+
+
+class CrossCircuitQueue:
+    """Shared packed-stimulus word pool for a whole ``generate_batch``.
+
+    Thread-safe: a batch's worker threads call :meth:`evaluator` /
+    :meth:`word_for` concurrently.  ``words_derived`` counts pool
+    misses (actual ``packed_stimulus_word`` derivations),
+    ``words_served`` counts every lookup -- their ratio is the
+    cross-circuit sharing win.
+    """
+
+    def __init__(self, num_cycles: int = 64, seed: int = 0):
+        if not 1 <= num_cycles:
+            raise ValueError("num_cycles must be positive")
+        self.num_cycles = num_cycles
+        self.seed = seed
+        self._lock = threading.Lock()
+        self._words: dict[tuple[str, int], int] = {}
+        self._evaluators: dict[Hashable, _SharedStimulusEvaluator] = {}
+        self.words_derived = 0
+        self.words_served = 0
+
+    def word_for(self, marker: str, bit: int) -> int:
+        """The batch-shared stimulus word for one boundary signal bit."""
+        key = (marker, bit)
+        with self._lock:
+            self.words_served += 1
+            word = self._words.get(key)
+            if word is None:
+                word = packed_stimulus_word(
+                    self.seed, marker, self.num_cycles, salt=bit
+                )
+                self._words[key] = word
+                self.words_derived += 1
+        return word
+
+    def evaluator(self, circuit_key: Hashable) -> "_SharedStimulusEvaluator":
+        """This circuit's evaluator view: shared words, private state.
+
+        ``circuit_key`` identifies one circuit of the batch (the item
+        index in a ``generate_batch``); repeated calls with the same key
+        return the same evaluator so a search's delta-patch lineage
+        persists across its cones.
+        """
+        with self._lock:
+            evaluator = self._evaluators.get(circuit_key)
+            if evaluator is None:
+                evaluator = _SharedStimulusEvaluator(self, circuit_key)
+                self._evaluators[circuit_key] = evaluator
+        return evaluator
+
+    def evaluate(
+        self, items: list[tuple[Hashable, CircuitGraph, int]]
+    ) -> list[ConeSignature]:
+        """Signatures for ``(circuit_key, graph, register)`` triples.
+
+        Candidates from *different* circuits flow through one call; each
+        is routed to its circuit's evaluator so only the stimulus pool
+        is shared.
+        """
+        return [
+            self.evaluator(circuit_key).signature(graph, register)
+            for circuit_key, graph, register in items
+        ]
+
+
+class _SharedStimulusEvaluator(ConeBatchEvaluator):
+    """One circuit's view of a :class:`CrossCircuitQueue`.
+
+    Identical to a solo :class:`ConeBatchEvaluator` except that stimulus
+    words come from the queue's shared pool -- bit-identical by purity
+    of the derivation -- while the register-keyed delta/simulator caches
+    stay private to this circuit (register ids collide across circuits).
+    """
+
+    def __init__(self, queue: CrossCircuitQueue, circuit_key: Hashable):
+        super().__init__(num_cycles=queue.num_cycles, seed=queue.seed)
+        self.queue = queue
+        self.circuit_key = circuit_key
+
+    def _word_for(self, marker: str, bit: int) -> int:
+        return self.queue.word_for(marker, bit)
+
+    def signature(self, graph: CircuitGraph, register: int) -> ConeSignature:
+        result = super().signature(graph, register)
+        sanitizer = current_sanitizer()
+        if sanitizer is not None:
+            # S008: the shared-pool signature must equal a solo
+            # re-derivation -- no stimulus or state across circuits.
+            sanitizer.check_cross_circuit(self, graph, register, result)
+        return result

@@ -19,6 +19,7 @@ from ..ir import CircuitGraph, GraphView
 from ..lint.sanitize import from_config as _sanitizer_from_config
 from ..lint.sanitize import sanitizing
 from ..obs import get_logger, registry, span
+from ..tiers import EXACT_TIER, FAST_TIER, check_tier
 from .actions import SwapIndex, apply_swap
 from .cones import all_cones, driving_cone
 from .reward import CachedReward, ConeBatchEvaluator, SynthesisReward
@@ -83,6 +84,26 @@ class MCTSConfig:
     closed) -- keeping the search inside the original design's
     observable behaviour.
 
+    ``tier`` selects the numeric contract (see :mod:`repro.tiers`).
+    ``"exact"`` (the default) keeps every byte-stability guarantee:
+    every register cone is searched, in register order, and every
+    accepted rewrite is tracked.  ``"fast"`` is the throughput tier:
+    the search walks cones in redundancy-headroom order
+    (:func:`_triage_cones`) and stops after
+    :data:`repro.tiers.FAST_EXIT_PATIENCE` consecutive cones without
+    an accepted rewrite, skips the synthesis-oracle call for marginal
+    estimate gains (:data:`repro.tiers.FAST_ORACLE_MARGIN`), and
+    defers the per-acceptance cone-function diagnostic to the
+    batch-level drift gate (``require_functional_equivalence`` still
+    checks, and still fails closed).  A design whose base synthesis
+    collapses to nothing searches *every* cone until an accept lifts
+    it off zero -- any cone may hold the rescuing rewrite.  Acceptance
+    stays oracle-gated in both tiers -- the drift the triage induces
+    is bounded by the tier-1 tolerance gate
+    (:data:`repro.tiers.FAST_SCPR_TOLERANCE`).  Applies only when the
+    incremental engine is in play; an explicit ``reward_fn`` is always
+    exact-gated as before.
+
     ``sanitize`` audits the run with :mod:`repro.lint.sanitize`: every
     incrementally maintained structure the search touches (GraphView
     wiring memos, the SwapIndex edge cache, delta netlists, timing
@@ -107,6 +128,7 @@ class MCTSConfig:
     track_cone_function: bool = True
     require_functional_equivalence: bool = False
     sanitize: bool = False
+    tier: str = EXACT_TIER
     seed: int = 0
 
 
@@ -234,12 +256,28 @@ def optimize_registers(
     config: MCTSConfig | None = None,
     registers: list[int] | None = None,
     verbose: bool = False,
+    evaluator: ConeBatchEvaluator | None = None,
 ) -> OptimizationReport:
-    """MCTS optimization of each register cone; returns G_opt."""
+    """MCTS optimization of each register cone; returns G_opt.
+
+    ``evaluator`` injects the cone-equivalence evaluator -- the fast
+    tier passes a per-circuit view of a shared
+    :class:`~repro.mcts.crossq.CrossCircuitQueue` so stimulus words are
+    derived once per (marker, bit) across a whole ``generate_batch``.
+    When ``None``, a private :class:`ConeBatchEvaluator` is built as
+    before.
+    """
     config = config or MCTSConfig()
     search_base, incremental, oracle = _resolve_search_rewards(
         config, reward_fn
     )
+    fast = (
+        check_tier(config.tier) == FAST_TIER and incremental is not None
+    )
+    # Fast tier defers the per-acceptance cone-function diagnostic to
+    # the batch-level drift gate; the hard equivalence gate (below)
+    # still runs when asked for.
+    track_function = config.track_cone_function and not fast
     sanitizer = _sanitizer_from_config(config.sanitize, seed=config.seed)
     current = graph.copy()
     report = OptimizationReport(
@@ -254,19 +292,41 @@ def optimize_registers(
     # One evaluator for the whole run: its packed stimulus words are keyed
     # by original-graph node ids, so every candidate netlist (across all
     # cones) is driven by the same shared stimulus.
-    evaluator = (
-        ConeBatchEvaluator(seed=config.seed)
-        if config.track_cone_function or config.require_functional_equivalence
-        else None
-    )
+    if evaluator is None:
+        evaluator = (
+            ConeBatchEvaluator(seed=config.seed)
+            if track_function
+            or config.require_functional_equivalence
+            else None
+        )
 
     cones = all_cones(current)
+    triaged = False
     if registers is not None:
         wanted = set(registers)
         cones = [c for c in cones if c.register in wanted]
+    elif fast and len(cones) > 1:
+        # The base PCS decides the triage mode and the first cone's
+        # rebase reuses it, so this synthesis is not an extra cost.
+        if incremental is not None:
+            incremental.rebase(current, exact_pcs=current_pcs)
+            current_pcs = incremental.base_pcs
+        # Rescue mode: a design that synthesizes to nothing (the
+        # paper's fully-redundant raw samples) can be saved by *any*
+        # cone -- cutting by headroom coverage risks dropping exactly
+        # the rewrite that makes it survive synthesis, the catastrophic
+        # drift tail.  Search every cone, in headroom order, until an
+        # accept lifts the PCS off zero.
+        rescue = current_pcs is None or current_pcs <= 1e-12
+        cones = _triage_cones(current, cones, keep_all=rescue)
+        triaged = True
     # The sanitizing context is a no-op for sanitizer=None; inside it the
     # incremental machinery's checkpoints (SwapIndex, delta netlists,
     # timing overlays, patched simulators) audit themselves.
+    if triaged:
+        from ..tiers import FAST_EXIT_PATIENCE
+        patience = FAST_EXIT_PATIENCE
+    duds = 0
     with span("mcts.optimize", cones=len(cones),
               incremental=incremental is not None), sanitizing(sanitizer):
         for cone in cones:
@@ -340,6 +400,13 @@ def optimize_registers(
                         # re-synthesize.
                         current_pcs = None
                         accepted = True
+                    elif fast and not _worth_oracle(result):
+                        # Fast tier: a marginal estimate gain is the
+                        # candidate the oracle most often vetoes --
+                        # reject it without the synthesis call.  The
+                        # true marginal gains lost here are bounded by
+                        # the margin and the tier's drift gate.
+                        pass
                     else:
                         with span("mcts.oracle", register=cone.register):
                             candidate_pcs = oracle(result.best_graph)
@@ -357,7 +424,7 @@ def optimize_registers(
                     # must not have disturbed the memos the next cone
                     # search will derive from.
                     sanitizer.check_graph_memos(current)
-                if evaluator is not None and config.track_cone_function:
+                if evaluator is not None and track_function:
                     if preserved is None:
                         # The gate (when it ran) compared this same
                         # (previous, current) pair; reuse its verdict.
@@ -379,6 +446,17 @@ def optimize_registers(
                 cone.register, result.initial_reward,
                 result.best_reward, outcome,
             )
+            if triaged:
+                # Cones arrive in headroom order (_triage_cones): a
+                # streak of duds means the estimate's remaining headroom
+                # is not translating into accepted rewrites -- stop
+                # paying for the tail.  Never while the design still
+                # synthesizes to nothing: until an accept lifts the PCS
+                # off zero every remaining cone is a rescue candidate.
+                duds = 0 if accepted else duds + 1
+                if (duds >= patience and current_pcs is not None
+                        and current_pcs > 1e-12):
+                    break
     if sanitizer is not None:
         report.sanitize_checks = sanitizer.checks_run
     if incremental is not None:
@@ -398,6 +476,66 @@ def optimize_registers(
     report.graph = current
     _publish_metrics(report)
     return report
+
+
+def _worth_oracle(result: ConeSearchResult) -> bool:
+    """Whether a fast-tier improvement justifies a synthesis-oracle call.
+
+    Requires the relative estimate gain to clear
+    :data:`repro.tiers.FAST_ORACLE_MARGIN`; below it the candidate is
+    rejected outright (see the acceptance loop).
+    """
+    from ..tiers import FAST_ORACLE_MARGIN
+
+    floor = abs(result.initial_reward) * FAST_ORACLE_MARGIN
+    return result.best_reward >= result.initial_reward + max(floor, 1e-12)
+
+
+def _triage_cones(
+    graph: CircuitGraph, cones: list, keep_all: bool = False
+) -> list:
+    """Fast-tier cone triage: rank cones by redundancy headroom.
+
+    One redundancy fixpoint over the whole graph prices every cone at
+    once: a cone's headroom is how many of its interior nodes the
+    estimate says will *survive* synthesis -- logic the search could
+    still fold away.  Cones are returned in descending-headroom order,
+    pre-filtered to :data:`repro.tiers.FAST_CONE_COVERAGE` of the
+    circuit's total headroom (``keep_all`` skips the filter -- rescue
+    mode for designs that synthesize to nothing): the acceptance loop
+    walks them front to back and stops after
+    :data:`repro.tiers.FAST_EXIT_PATIENCE` consecutive duds, so the
+    skipped tail is where the estimate says an accepted rewrite is
+    least likely *and* recent searches agree.  The SCPR drift this
+    trades away is measured and bounded by the tier's tolerance gate.
+    """
+    from ..incr.analysis import analyze_redundancy
+    from ..tiers import FAST_CONE_COVERAGE
+
+    survivors = analyze_redundancy(graph).survivors()
+    headroom = {
+        cone.register: len(survivors.intersection(cone.interior))
+        for cone in cones
+    }
+    total = sum(headroom.values())
+    if total == 0:
+        return list(cones) if keep_all else cones[:1]
+    # Deterministic ranking: headroom first, then the stable register
+    # order `all_cones` already established.
+    ranked = sorted(
+        cones,
+        key=lambda cone: (-headroom[cone.register], cone.register),
+    )
+    if keep_all:
+        return ranked
+    chosen = []
+    covered = 0
+    for cone in ranked:
+        if chosen and covered >= FAST_CONE_COVERAGE * total:
+            break
+        chosen.append(cone)
+        covered += headroom[cone.register]
+    return chosen
 
 
 #: Failure modes the cone simulation can legitimately hit on a candidate
@@ -434,6 +572,7 @@ def random_search_registers(
     reward_fn: RewardFn | None = None,
     config: MCTSConfig | None = None,
     verbose: bool = False,
+    evaluator: ConeBatchEvaluator | None = None,
 ) -> OptimizationReport:
     """Ablation baseline: random valid swaps with the same budget.
 
@@ -456,10 +595,11 @@ def random_search_registers(
         oracle(current) if oracle is not None and incremental is None
         else None
     )
-    evaluator = (
-        ConeBatchEvaluator(seed=config.seed)
-        if config.require_functional_equivalence else None
-    )
+    if evaluator is None:
+        evaluator = (
+            ConeBatchEvaluator(seed=config.seed)
+            if config.require_functional_equivalence else None
+        )
 
     with sanitizing(sanitizer):
         for cone in all_cones(current):

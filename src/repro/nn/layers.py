@@ -7,6 +7,8 @@ and layers are callables over :class:`~repro.nn.tensor.Tensor`.
 
 from __future__ import annotations
 
+from typing import Any
+
 import numpy as np
 
 from .tensor import Tensor, parameter
@@ -47,10 +49,10 @@ class Module:
                 raise ValueError(f"shape mismatch for parameter {i}")
             p.data[...] = src
 
-    def __call__(self, *args, **kwargs):
+    def __call__(self, *args: Any, **kwargs: Any) -> Tensor:
         return self.forward(*args, **kwargs)
 
-    def forward(self, *args, **kwargs):  # pragma: no cover - abstract
+    def forward(self, *args: Any, **kwargs: Any) -> Tensor:  # pragma: no cover - abstract
         raise NotImplementedError
 
 

@@ -23,7 +23,14 @@ import dataclasses
 
 import numpy as np
 import pytest
-from fuzz_harness import PAPER_SCALE, random_graph, swap_chain, touched_since
+from fuzz_harness import (
+    PAPER_SCALE,
+    random_graph,
+    swap_chain,
+    tier_batch_compositions,
+    tier_differential_session,
+    touched_since,
+)
 
 from repro.bench_designs import load_design
 from repro.incr import DeltaOracle, IncrementalReward
@@ -330,3 +337,79 @@ class TestDeepFuzz:
         # Across the sweep the delta path itself must get real coverage
         # (lean profiles have an empty folded-register guard).
         assert delta_hits > 0
+
+
+# ---------------------------------------------------------------------------
+class TestTierDifferential:
+    """Exact-vs-fast generation differential (the repro.tiers contract).
+
+    Random batch compositions -- mixed node ranges, fixed sizes, odd
+    counts that leave fused-batch remainders -- are drawn from the
+    drift-verified pool in ``fuzz_harness`` and run at both tiers:
+
+    * the fast tier's family-mean SCPR/area drift must stay inside the
+      published ``FAST_SCPR_TOLERANCE`` / ``FAST_AREA_TOLERANCE``;
+    * the exact tier must be untouched by the tier plumbing: repeated
+      ``tier="exact"`` runs and ``tier=None`` (config default) runs are
+      fingerprint-identical, the same byte-stability the ``results/``
+      goldens pin.
+    """
+
+    @pytest.fixture(scope="class")
+    def tier_session(self):
+        return tier_differential_session()
+
+    @pytest.mark.fuzz_smoke
+    def test_random_compositions_stay_inside_tolerance(self, tier_session):
+        from repro.api import GenerateRequest
+        from repro.bench.drift import measure_drift
+
+        requests = [
+            GenerateRequest(
+                count=count, nodes=nodes, optimize=True, seed=seed
+            )
+            for nodes, seed, count in tier_batch_compositions(0, rounds=3)
+        ]
+        # At least one odd count in every smoke draw: remainder handling
+        # is the fused sampler's sharp edge.  The substitute is itself a
+        # pool composition -- only verified compositions ever run.
+        if all(request.count % 2 == 0 for request in requests):
+            requests[-1] = GenerateRequest(
+                count=5, nodes=(36, 52), optimize=True, seed=5
+            )
+        report = measure_drift(tier_session, requests, clock_period=2.0)
+        assert len(report.families) == len(requests)
+        assert report.within_tolerance(), "\n".join(report.violations())
+
+    @pytest.mark.fuzz_smoke
+    def test_exact_tier_untouched_by_tier_plumbing(self, tier_session):
+        from repro.api import GenerateRequest
+
+        base = GenerateRequest(count=3, nodes=44, optimize=True, seed=11)
+        first = tier_session.generate(
+            dataclasses.replace(base, tier="exact")
+        )
+        second = tier_session.generate(
+            dataclasses.replace(base, tier="exact")
+        )
+        default = tier_session.generate(base)  # tier=None -> config tier
+        for a, b, c in zip(first.graphs, second.graphs, default.graphs):
+            key = structural_fingerprint(a).key
+            assert key == structural_fingerprint(b).key
+            assert key == structural_fingerprint(c).key
+
+    @pytest.mark.fuzz_deep
+    def test_deep_tier_composition_sweep(self, tier_session, fuzz_rounds):
+        from repro.api import GenerateRequest
+        from repro.bench.drift import measure_drift
+
+        requests = [
+            GenerateRequest(
+                count=count, nodes=nodes, optimize=True, seed=seed
+            )
+            for nodes, seed, count in tier_batch_compositions(
+                1, rounds=4 * fuzz_rounds
+            )
+        ]
+        report = measure_drift(tier_session, requests, clock_period=2.0)
+        assert report.within_tolerance(), "\n".join(report.violations())

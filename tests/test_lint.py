@@ -50,7 +50,7 @@ class TestFramework:
         ids = {rule.id for rule in rule_catalog()}
         assert {f"L00{k}" for k in range(1, 9)} <= ids
         assert {"N001", "N002", "N003"} <= ids
-        assert {f"S00{k}" for k in range(1, 6)} <= ids
+        assert {f"S00{k}" for k in range(1, 9)} <= ids
 
     def test_severity_policy(self):
         # Structural invalidity is an error; an unused port is a
@@ -398,6 +398,30 @@ class TestSanitizerInjection:
         # The diagnostic carries the edit provenance the delta ran on.
         assert exc.value.diagnostic.provenance["touched"] == touched
         assert exc.value.diagnostic.provenance["overlay_nodes"] == [ids["s"]]
+
+    def test_s008_poisoned_shared_word_pool(self):
+        from repro.mcts import CrossCircuitQueue
+        from repro.mcts.cones import all_cones
+
+        g, _ = _clean_graph()
+        cone = next(c for c in all_cones(g) if c.interior)
+        queue = CrossCircuitQueue(seed=0)
+        with sanitizing(Sanitizer(checks=["S008"])) as sanitizer:
+            queue.evaluator(0).signature(g, cone.register)  # honest: ok
+        assert sanitizer.checks_run == 1 and sanitizer.violations == 0
+        # Poison one shared stimulus word: every circuit served from the
+        # pool now sees stimulus a solo evaluator would never derive.
+        key = next(iter(queue._words))
+        queue._words[key] ^= 0xFFFF
+        # Drop the patch lineage so the next signature re-reads inputs.
+        queue.evaluator(0)._cone_deltas.clear()
+        queue.evaluator(0)._cone_sims.clear()
+        with pytest.raises(InvariantViolation) as exc:
+            with sanitizing(Sanitizer(checks=["S008"])):
+                queue.evaluator(0).signature(g, cone.register)
+        assert exc.value.diagnostic.rule == "S008"
+        assert exc.value.diagnostic.nodes == [cone.register]
+        assert exc.value.diagnostic.provenance["circuit_key"] == 0
 
     def test_checks_subset_restricts_audits(self):
         g, ids = _clean_graph()
